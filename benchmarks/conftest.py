@@ -1,0 +1,42 @@
+"""Benchmark support: collect each experiment's rendered paper artifact.
+
+Every benchmark regenerates one table or figure from the paper and
+registers its textual rendering through the ``paper_report`` fixture.
+All renderings are printed in the terminal summary and written to
+``benchmarks/RESULTS.txt`` so a single run leaves a reviewable record.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_REPORTS: list = []
+RESULTS_PATH = pathlib.Path(__file__).parent / "RESULTS.txt"
+
+
+@pytest.fixture
+def paper_report():
+    """Call with (title, text) to register a rendered paper artifact."""
+
+    def register(title: str, text: str) -> None:
+        _REPORTS.append((title, text))
+
+    return register
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    lines = []
+    for title, text in _REPORTS:
+        lines.append("")
+        lines.append("=" * 78)
+        lines.append(title)
+        lines.append("=" * 78)
+        lines.append(text)
+    output = "\n".join(lines)
+    terminalreporter.write_line(output)
+    RESULTS_PATH.write_text(output + "\n")
+    terminalreporter.write_line(f"\n[paper artifacts written to {RESULTS_PATH}]")

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Infrastructure probing: where do the platforms put their servers?
+
+Reproduces Sec. 4.2 for one platform: ping + traceroute from three
+vantage points, WHOIS attribution, and the anycast inference.
+
+Run:
+    python examples/infrastructure_probing.py [platform]
+"""
+
+import sys
+
+from repro.measure.infrastructure import probe_infrastructure
+from repro.measure.report import render_table
+
+
+def main(platform: str = "recroom") -> None:
+    report = probe_infrastructure(platform)
+    print(f"== Infrastructure of {report.platform} (Table 2 methodology) ==\n")
+    rows = []
+    for item in [report.control] + report.data:
+        rows.append(
+            [
+                item.channel,
+                item.protocol,
+                item.location,
+                item.owner,
+                "yes" if item.anycast else "no",
+                f"{item.east_rtt.mean:.2f}",
+                item.rtt_method,
+                "same" if item.same_server_for_colocated_users else "different",
+            ]
+        )
+    print(
+        render_table(
+            [
+                "Channel",
+                "Protocol",
+                "Location",
+                "Owner (WHOIS)",
+                "Anycast",
+                "East RTT (ms)",
+                "Method",
+                "Server for 2 users",
+            ],
+            rows,
+        )
+    )
+    print("\nAnycast evidence per channel:")
+    for item in [report.control] + report.data:
+        print(f"  {item.channel}: {'; '.join(item.anycast.reasons)}")
+        for probe in item.probes:
+            path = " -> ".join(str(ip) for ip in probe.path_ips) or "(direct)"
+            rtt = f"{probe.rtt_ms:.1f} ms" if probe.rtt_ms is not None else "n/a"
+            print(f"    from {probe.vantage:12s} rtt={rtt:>9s} path: {path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "recroom")

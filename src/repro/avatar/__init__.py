@@ -1,0 +1,67 @@
+"""Avatar system: pose, motion, viewport, embodiment, codec."""
+
+from .codec import AvatarCodec, AvatarUpdate, decode
+from .embodiment import EmbodimentProfile
+from .expression import (
+    EXPRESSIONS,
+    GESTURE_EXPRESSIONS,
+    ExpressionState,
+    GestureEvent,
+)
+from .motion import (
+    FaceDirection,
+    FacePoint,
+    FingerTouch,
+    Mingle,
+    Motion,
+    MotionSequence,
+    SnapTurnSequence,
+    Spin,
+    Stand,
+    TimedTurn,
+    Wander,
+)
+from .pose import Pose, Vec3, normalize_angle
+from .prediction import YawRatePredictor
+from .viewport import (
+    ALTSPACE_SERVER_VIEWPORT,
+    ALTSPACE_SERVER_VIEWPORT_DEG,
+    HEADSET_FOV_DEG,
+    HEADSET_VIEWPORT,
+    TURN_STEP_DEG,
+    Viewport,
+    visible_count,
+)
+
+__all__ = [
+    "AvatarCodec",
+    "AvatarUpdate",
+    "decode",
+    "EmbodimentProfile",
+    "EXPRESSIONS",
+    "GESTURE_EXPRESSIONS",
+    "ExpressionState",
+    "GestureEvent",
+    "FaceDirection",
+    "FacePoint",
+    "FingerTouch",
+    "Mingle",
+    "Motion",
+    "MotionSequence",
+    "SnapTurnSequence",
+    "Spin",
+    "Stand",
+    "TimedTurn",
+    "Wander",
+    "Pose",
+    "Vec3",
+    "normalize_angle",
+    "YawRatePredictor",
+    "ALTSPACE_SERVER_VIEWPORT",
+    "ALTSPACE_SERVER_VIEWPORT_DEG",
+    "HEADSET_FOV_DEG",
+    "HEADSET_VIEWPORT",
+    "TURN_STEP_DEG",
+    "Viewport",
+    "visible_count",
+]

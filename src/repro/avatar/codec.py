@@ -1,0 +1,77 @@
+"""Avatar update serialization: payload sizing and wire encoding.
+
+Platform clients stream avatar state as compact binary updates. The
+codec models quantized encoding (it does not need real bit-packing —
+only faithful *sizes*, since all platform traffic is encrypted and the
+paper's analysis works purely from wire sizes) plus a structured
+metadata object so receivers can reconstruct pose semantics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from .embodiment import EmbodimentProfile
+from .pose import Pose
+
+
+@dataclasses.dataclass(frozen=True)
+class AvatarUpdate:
+    """Decoded form of one avatar state update."""
+
+    user_id: str
+    sequence: int
+    sent_at: float
+    position: tuple
+    yaw_deg: float
+    expressions: tuple = ()
+    action_id: typing.Optional[int] = None
+
+    @property
+    def carries_action(self) -> bool:
+        return self.action_id is not None
+
+
+class AvatarCodec:
+    """Encodes avatar pose/state into (payload_bytes, update) pairs."""
+
+    def __init__(self, profile: EmbodimentProfile) -> None:
+        self.profile = profile
+        self._sequence = 0
+
+    def encode(
+        self,
+        user_id: str,
+        pose: Pose,
+        now: float,
+        expressions: typing.Sequence[str] = (),
+        action_id: typing.Optional[int] = None,
+        activity: float = 1.0,
+    ) -> tuple:
+        """Return ``(payload_bytes, AvatarUpdate)`` for the wire."""
+        self._sequence += 1
+        update = AvatarUpdate(
+            user_id=user_id,
+            sequence=self._sequence,
+            sent_at=now,
+            position=(pose.position.x, pose.position.y, pose.position.z),
+            yaw_deg=pose.yaw_deg,
+            expressions=tuple(expressions),
+            action_id=action_id,
+        )
+        payload_bytes = self.profile.update_payload_bytes(len(expressions), activity)
+        return payload_bytes, update
+
+    @property
+    def sequence(self) -> int:
+        return self._sequence
+
+
+def decode(update: AvatarUpdate) -> AvatarUpdate:
+    """Identity decode: the wire object is already structured.
+
+    Exists so receiver code reads naturally and so a future real
+    bit-packed codec can slot in without touching call sites.
+    """
+    return update

@@ -1,0 +1,67 @@
+"""Avatar embodiment profiles: what each platform's avatar consists of.
+
+Sec. 5.2 and Fig. 4 attribute the platforms' very different avatar
+throughputs to embodiment complexity: AltspaceVR's armless, expression-
+less avatar needs ~11 Kbps; Rec Room adds simple facial expressions;
+VRChat has a full body; Worlds tracks hand gestures for facial
+expressions on a human-like avatar and needs >300 Kbps. The profile
+captures those structural facts; the wire cost is computed by
+:mod:`repro.avatar.codec`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class EmbodimentProfile:
+    """Structural description of a platform's avatar embodiment."""
+
+    name: str
+    human_like: bool
+    has_arms: bool
+    has_lower_body: bool
+    facial_expressions: bool
+    gesture_tracking: bool  # facial expressions driven by hand gestures
+    tracked_joints: int  # rigid bodies whose transforms are streamed
+    #: Bytes streamed per joint per update (position + rotation,
+    #: quantized); richer rigs use more precision.
+    bytes_per_joint: int
+    #: Fixed per-update header: ids, timestamps, flags.
+    header_bytes: int
+    #: Extra bytes per update for facial-expression state.
+    expression_bytes: int
+    #: Avatar state updates per second.
+    update_rate_hz: float
+
+    def update_payload_bytes(
+        self, active_expressions: int = 0, activity: float = 1.0
+    ) -> int:
+        """Application bytes of one avatar state update.
+
+        ``activity`` scales the joint-motion portion: delta-encoded
+        rigs cost more when the user moves more, which is what makes a
+        user's uplink pattern visible in their peers' downlink (Fig. 3).
+        """
+        expression_cost = self.expression_bytes if self.facial_expressions else 0
+        gesture_cost = 0
+        if self.gesture_tracking and active_expressions > 0:
+            gesture_cost = active_expressions * 16
+        joint_cost = int(self.tracked_joints * self.bytes_per_joint * activity)
+        return self.header_bytes + joint_cost + expression_cost + gesture_cost
+
+    def nominal_kbps(self) -> float:
+        """Steady-state avatar bitrate before transport overhead."""
+        return self.update_payload_bytes() * 8 * self.update_rate_hz / 1000.0
+
+    def complexity_score(self) -> float:
+        """A scalar used by the device model for render cost scaling."""
+        score = float(self.tracked_joints)
+        if self.human_like:
+            score *= 1.8
+        if self.facial_expressions:
+            score += 2.0
+        if self.has_lower_body:
+            score += 3.0
+        return score

@@ -1,0 +1,60 @@
+"""Facial expressions and gesture-driven expression events.
+
+Only Worlds updates avatar facial expressions from controller hand
+gestures (thumbs-up/down, Fig. 5); Rec Room and VRChat have preset
+expressions; AltspaceVR and Hubs have none (Sec. 5.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+#: Canonical expression vocabulary across platforms.
+EXPRESSIONS = ("smile", "laugh", "sad", "surprise", "angry")
+
+#: Worlds hand-gesture to expression mapping (Fig. 5).
+GESTURE_EXPRESSIONS = {
+    "thumbs-up": "smile",
+    "thumbs-down": "sad",
+    "wave": "surprise",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class GestureEvent:
+    """A hand gesture performed at a point in time."""
+
+    gesture: str
+    at: float
+
+    @property
+    def expression(self) -> typing.Optional[str]:
+        return GESTURE_EXPRESSIONS.get(self.gesture)
+
+
+class ExpressionState:
+    """Tracks which expressions are currently active on an avatar."""
+
+    def __init__(self, hold_s: float = 2.0) -> None:
+        self.hold_s = hold_s
+        self._active: dict[str, float] = {}  # expression -> expiry time
+
+    def trigger(self, expression: str, now: float) -> None:
+        if expression not in EXPRESSIONS:
+            raise ValueError(f"unknown expression {expression!r}")
+        self._active[expression] = now + self.hold_s
+
+    def apply_gesture(self, event: GestureEvent) -> typing.Optional[str]:
+        """Trigger the expression mapped from a gesture, if any."""
+        expression = event.expression
+        if expression is not None:
+            self.trigger(expression, event.at)
+        return expression
+
+    def active(self, now: float) -> tuple:
+        """Currently-held expressions, expiring stale ones."""
+        expired = [e for e, until in self._active.items() if until <= now]
+        for expression in expired:
+            del self._active[expression]
+        return tuple(sorted(self._active))

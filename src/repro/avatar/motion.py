@@ -1,0 +1,234 @@
+"""Scripted user motion driving avatar poses.
+
+Experiments in the paper script user behaviour precisely: standing at
+the centre, walking and chatting, turning 180 degrees at t=250 s
+(Fig. 6), snap-turning in 22.5-degree steps to map the AltspaceVR
+server viewport (Sec. 6.1), or touching index fingers for the latency
+measurement (Sec. 7). Each behaviour is a :class:`Motion` stepped at the
+avatar update rate.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+from .pose import Pose, Vec3
+from .viewport import TURN_STEP_DEG
+
+
+class Motion:
+    """Base class: mutates a pose once per update tick."""
+
+    def step(self, pose: Pose, dt: float, now: float, rng) -> None:
+        raise NotImplementedError
+
+
+class Stand(Motion):
+    """Stay in place with idle head sway (small yaw jitter)."""
+
+    def __init__(self, sway_deg: float = 2.0) -> None:
+        self.sway_deg = sway_deg
+
+    def step(self, pose: Pose, dt: float, now: float, rng) -> None:
+        pose.turn(rng.uniform(-self.sway_deg, self.sway_deg) * dt)
+
+
+class Wander(Motion):
+    """Walk between random waypoints inside a circular room.
+
+    This is the 'walk around and chat' behaviour of the Table 3
+    experiments.
+    """
+
+    def __init__(self, room_radius: float = 6.0, speed: float = 1.2) -> None:
+        self.room_radius = room_radius
+        self.speed = speed
+        self._waypoint: typing.Optional[Vec3] = None
+
+    def _pick_waypoint(self, rng) -> Vec3:
+        radius = self.room_radius * math.sqrt(rng.random())
+        angle = rng.uniform(0, 2 * math.pi)
+        return Vec3(radius * math.cos(angle), 0.0, radius * math.sin(angle))
+
+    def step(self, pose: Pose, dt: float, now: float, rng) -> None:
+        if self._waypoint is None:
+            self._waypoint = self._pick_waypoint(rng)
+        target = self._waypoint
+        distance = pose.position.distance_to(target)
+        if distance < 0.2:
+            self._waypoint = self._pick_waypoint(rng)
+            return
+        step_len = min(self.speed * dt, distance)
+        dx = (target.x - pose.position.x) / distance
+        dz = (target.z - pose.position.z) / distance
+        pose.move(dx * step_len, dz * step_len)
+        pose.yaw_deg = math.degrees(math.atan2(dx, dz))
+
+
+class FacePoint(Motion):
+    """Always face a fixed point (e.g. the room centre or a peer)."""
+
+    def __init__(self, point: Vec3) -> None:
+        self.point = point
+
+    def step(self, pose: Pose, dt: float, now: float, rng) -> None:
+        dx = self.point.x - pose.position.x
+        dz = self.point.z - pose.position.z
+        if dx == 0 and dz == 0:
+            return
+        pose.yaw_deg = math.degrees(math.atan2(dx, dz))
+
+
+class Mingle(Motion):
+    """Drift near a home spot while facing a focus point.
+
+    This is the Table 3 'walk around and chat with each other'
+    behaviour: users keep each other in view (mutual visibility, which
+    matters on viewport-adaptive AltspaceVR) while moving enough to
+    generate continuous avatar motion.
+    """
+
+    def __init__(
+        self,
+        home: Vec3,
+        focus: typing.Optional[Vec3] = None,
+        radius: float = 0.8,
+        speed: float = 0.4,
+    ) -> None:
+        self.home = home
+        self.focus = focus or Vec3(0.0, 0.0, 0.0)
+        self.radius = radius
+        self.speed = speed
+
+    def step(self, pose: Pose, dt: float, now: float, rng) -> None:
+        step_len = self.speed * dt
+        pose.move(rng.uniform(-step_len, step_len), rng.uniform(-step_len, step_len))
+        # Spring back toward home if drifting out of the mingle circle.
+        if pose.position.distance_to(self.home) > self.radius:
+            pull = 0.2
+            pose.position.x += (self.home.x - pose.position.x) * pull
+            pose.position.z += (self.home.z - pose.position.z) * pull
+        dx = self.focus.x - pose.position.x
+        dz = self.focus.z - pose.position.z
+        if dx != 0 or dz != 0:
+            pose.yaw_deg = math.degrees(math.atan2(dx, dz))
+
+
+class Spin(Motion):
+    """Rotate continuously at a fixed rate.
+
+    Used by the viewport-prediction trade-off experiment: a constantly
+    turning head is the hardest case for server-side viewport
+    filtering (Sec. 6.1's prediction-error discussion).
+    """
+
+    def __init__(self, rate_deg_s: float = 90.0) -> None:
+        self.rate_deg_s = rate_deg_s
+
+    def step(self, pose: Pose, dt: float, now: float, rng) -> None:
+        pose.turn(self.rate_deg_s * dt)
+
+
+class FaceDirection(Motion):
+    """Hold a fixed heading (e.g. face the centre, or face a corner)."""
+
+    def __init__(self, yaw_deg: float) -> None:
+        self.yaw_deg = yaw_deg
+
+    def step(self, pose: Pose, dt: float, now: float, rng) -> None:
+        pose.yaw_deg = self.yaw_deg
+
+
+class TimedTurn(Motion):
+    """Face ``initial_yaw`` until ``turn_at``, then snap by ``turn_deg``.
+
+    Models U1's 180-degree turn at t=250 s in the Fig. 6 experiments.
+    """
+
+    def __init__(self, initial_yaw: float, turn_at: float, turn_deg: float) -> None:
+        self.initial_yaw = initial_yaw
+        self.turn_at = turn_at
+        self.turn_deg = turn_deg
+        self._turned = False
+
+    def step(self, pose: Pose, dt: float, now: float, rng) -> None:
+        if not self._turned:
+            pose.yaw_deg = self.initial_yaw
+            if now >= self.turn_at:
+                pose.turn(self.turn_deg)
+                self._turned = True
+
+
+class SnapTurnSequence(Motion):
+    """Turn in controller snap steps (360/16 = 22.5 degrees) on a schedule.
+
+    Used by the viewport-width detection experiment: starting back-to
+    the other avatar, each operation rotates one step; the step at which
+    downlink throughput appears reveals the server viewport edge.
+    """
+
+    def __init__(
+        self,
+        initial_yaw: float,
+        step_interval_s: float,
+        start_at: float = 0.0,
+        step_deg: float = TURN_STEP_DEG,
+    ) -> None:
+        self.initial_yaw = initial_yaw
+        self.step_interval_s = step_interval_s
+        self.start_at = start_at
+        self.step_deg = step_deg
+        self.steps_taken = 0
+        self._initialized = False
+
+    def step(self, pose: Pose, dt: float, now: float, rng) -> None:
+        if not self._initialized:
+            pose.yaw_deg = self.initial_yaw
+            self._initialized = True
+        due = int(max(0.0, now - self.start_at) / self.step_interval_s)
+        while self.steps_taken < due:
+            pose.turn(self.step_deg)
+            self.steps_taken += 1
+
+
+class FingerTouch(Motion):
+    """The Sec. 7 latency action: move the index finger away at ``at``.
+
+    The actual hand displacement is what the receiver's screen shows;
+    what matters for measurement is that the action fires exactly once
+    at a known time (``performed`` flips true on the triggering tick).
+    """
+
+    def __init__(self, at: float) -> None:
+        self.at = at
+        self.performed = False
+        self.performed_at: typing.Optional[float] = None
+
+    def step(self, pose: Pose, dt: float, now: float, rng) -> None:
+        if not self.performed and now >= self.at:
+            pose.right_hand = pose.right_hand + Vec3(0.15, 0.0, -0.1)
+            self.performed = True
+            self.performed_at = now
+
+
+class MotionSequence(Motion):
+    """Run motions back to back, switching at given times."""
+
+    def __init__(self, schedule: typing.Sequence) -> None:
+        """``schedule`` is a list of (start_time, Motion) sorted by time."""
+        if not schedule:
+            raise ValueError("schedule must not be empty")
+        self.schedule = sorted(schedule, key=lambda item: item[0])
+
+    def current(self, now: float) -> Motion:
+        active = self.schedule[0][1]
+        for start, motion in self.schedule:
+            if now >= start:
+                active = motion
+            else:
+                break
+        return active
+
+    def step(self, pose: Pose, dt: float, now: float, rng) -> None:
+        self.current(now).step(pose, dt, now, rng)

@@ -1,0 +1,56 @@
+"""Personal-space bubbles (Table 1, Sec. 9).
+
+Every platform except Hubs implements a personal boundary/bubble that
+keeps other avatars from pressing into a user (the anti-harassment
+mechanism the paper lists in Table 1 and plans to evaluate in Sec. 9).
+The enforcement is client-side: when another avatar is inside the
+bubble, the local avatar is displaced outward to the bubble surface.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+from .pose import Pose, Vec3
+
+#: Default bubble radius — roughly the 4 ft boundary Meta rolled out.
+DEFAULT_RADIUS_M = 1.2
+
+
+class PersonalSpace:
+    """A circular exclusion zone around each avatar."""
+
+    def __init__(self, radius_m: float = DEFAULT_RADIUS_M) -> None:
+        if radius_m <= 0:
+            raise ValueError(f"radius must be positive, got {radius_m}")
+        self.radius_m = radius_m
+        self.displacements = 0
+
+    def enforce(
+        self, pose: Pose, others: typing.Iterable[Vec3]
+    ) -> bool:
+        """Push ``pose`` out of any violated bubble; True if moved."""
+        moved = False
+        for other in others:
+            dx = pose.position.x - other.x
+            dz = pose.position.z - other.z
+            distance = math.sqrt(dx * dx + dz * dz)
+            if distance >= self.radius_m:
+                continue
+            moved = True
+            self.displacements += 1
+            if distance < 1e-9:
+                # Exactly co-located: push along +x deterministically.
+                dx, dz, distance = 1.0, 0.0, 1.0
+            scale = self.radius_m / distance
+            pose.position.x = other.x + dx * scale
+            pose.position.z = other.z + dz * scale
+        return moved
+
+    def violated(self, pose: Pose, others: typing.Iterable[Vec3]) -> bool:
+        """Whether any bubble is currently violated (without moving)."""
+        for other in others:
+            if pose.position.distance_to(other) < self.radius_m - 1e-9:
+                return True
+        return False

@@ -1,0 +1,89 @@
+"""Avatar pose: position, heading, and tracked body parts.
+
+Avatars on the measured platforms are driven by the headset and two
+hand controllers (Sec. 5.2): three tracked rigid bodies, no lower limbs
+(except VRChat's full body, which is still controller-driven). A pose is
+therefore a root position + yaw plus head/hand offsets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+
+@dataclasses.dataclass
+class Vec3:
+    """A lightweight 3-vector (avoiding numpy per-update overhead)."""
+
+    x: float = 0.0
+    y: float = 0.0
+    z: float = 0.0
+
+    def __add__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x + other.x, self.y + other.y, self.z + other.z)
+
+    def __sub__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x - other.x, self.y - other.y, self.z - other.z)
+
+    def scaled(self, factor: float) -> "Vec3":
+        return Vec3(self.x * factor, self.y * factor, self.z * factor)
+
+    def distance_to(self, other: "Vec3") -> float:
+        return math.sqrt(
+            (self.x - other.x) ** 2
+            + (self.y - other.y) ** 2
+            + (self.z - other.z) ** 2
+        )
+
+    def copy(self) -> "Vec3":
+        return Vec3(self.x, self.y, self.z)
+
+
+def normalize_angle(degrees: float) -> float:
+    """Wrap an angle into [-180, 180)."""
+    wrapped = math.fmod(degrees + 180.0, 360.0)
+    if wrapped < 0:
+        wrapped += 360.0
+    return wrapped - 180.0
+
+
+@dataclasses.dataclass
+class Pose:
+    """Full avatar pose: root position, yaw heading, tracked parts."""
+
+    position: Vec3 = dataclasses.field(default_factory=Vec3)
+    yaw_deg: float = 0.0
+    head_offset: Vec3 = dataclasses.field(default_factory=lambda: Vec3(0, 1.7, 0))
+    left_hand: Vec3 = dataclasses.field(default_factory=lambda: Vec3(-0.3, 1.2, 0.3))
+    right_hand: Vec3 = dataclasses.field(default_factory=lambda: Vec3(0.3, 1.2, 0.3))
+
+    def turn(self, delta_deg: float) -> None:
+        self.yaw_deg = normalize_angle(self.yaw_deg + delta_deg)
+
+    def move(self, dx: float, dz: float) -> None:
+        self.position.x += dx
+        self.position.z += dz
+
+    def move_forward(self, distance: float) -> None:
+        radians = math.radians(self.yaw_deg)
+        self.move(math.sin(radians) * distance, math.cos(radians) * distance)
+
+    def bearing_to(self, target: Vec3) -> float:
+        """Bearing of ``target`` relative to this pose's heading, degrees.
+
+        0 means dead ahead; positive is clockwise. Result in [-180, 180).
+        """
+        dx = target.x - self.position.x
+        dz = target.z - self.position.z
+        absolute = math.degrees(math.atan2(dx, dz))
+        return normalize_angle(absolute - self.yaw_deg)
+
+    def copy(self) -> "Pose":
+        return Pose(
+            position=self.position.copy(),
+            yaw_deg=self.yaw_deg,
+            head_offset=self.head_offset.copy(),
+            left_hand=self.left_hand.copy(),
+            right_hand=self.right_hand.copy(),
+        )

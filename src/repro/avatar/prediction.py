@@ -1,0 +1,50 @@
+"""Viewport prediction: extrapolating where a user will be looking.
+
+Sec. 6.1: a viewport-adaptive server must decide *now* which avatars a
+recipient will see when the data arrives, so it needs the recipient's
+*future* viewport. AltspaceVR compensates with a viewport wider than
+the headset FoV (150 vs ~104 degrees); an alternative is to predict
+head rotation and aim the (narrower) viewport ahead of it. Both
+compensators are implemented so the trade-off experiment in
+:mod:`repro.measure.prediction` can compare them.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from .pose import normalize_angle
+
+
+class YawRatePredictor:
+    """Linear extrapolation of yaw from the last two observations."""
+
+    def __init__(self, horizon_s: float = 0.15, max_rate_deg_s: float = 360.0) -> None:
+        if horizon_s < 0:
+            raise ValueError(f"horizon must be >= 0, got {horizon_s}")
+        self.horizon_s = horizon_s
+        self.max_rate_deg_s = max_rate_deg_s
+        self._last_time: typing.Optional[float] = None
+        self._last_yaw: typing.Optional[float] = None
+        self.rate_deg_s = 0.0
+
+    def observe(self, time: float, yaw_deg: float) -> None:
+        """Feed one (time, yaw) sample from the user's pose reports."""
+        if self._last_time is not None and time > self._last_time:
+            delta = normalize_angle(yaw_deg - self._last_yaw)
+            rate = delta / (time - self._last_time)
+            self.rate_deg_s = max(-self.max_rate_deg_s, min(self.max_rate_deg_s, rate))
+        self._last_time = time
+        self._last_yaw = yaw_deg
+
+    def predict(self, now: float) -> typing.Optional[float]:
+        """Predicted yaw at ``now + horizon``; None before two samples."""
+        if self._last_yaw is None:
+            return None
+        elapsed = max(0.0, now - (self._last_time or now))
+        lookahead = elapsed + self.horizon_s
+        return normalize_angle(self._last_yaw + self.rate_deg_s * lookahead)
+
+    @property
+    def has_estimate(self) -> bool:
+        return self._last_yaw is not None

@@ -1,0 +1,62 @@
+"""Viewport geometry: what a user's headset (or the server) can see.
+
+Two widths matter in the paper (Sec. 6.1): the headset's actual field of
+view, and the wider *server-side* viewport AltspaceVR uses to decide
+which avatars' data to forward (~150 degrees, measured by turning an
+avatar in 22.5-degree controller steps and watching downlink throughput).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .pose import Pose, Vec3, normalize_angle
+
+#: Quest 2 optics give roughly a 104-degree diagonal FoV; we model the
+#: horizontal render FoV.
+HEADSET_FOV_DEG = 104.0
+#: Width of the server-side forwarding viewport the paper infers for
+#: AltspaceVR (Sec. 6.1).
+ALTSPACE_SERVER_VIEWPORT_DEG = 150.0
+#: Controller snap-turn step on the measured platforms: 360/16 degrees.
+TURN_STEP_DEG = 22.5
+
+
+@dataclasses.dataclass(frozen=True)
+class Viewport:
+    """A symmetric horizontal viewing cone of ``width_deg`` degrees."""
+
+    width_deg: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.width_deg <= 360:
+            raise ValueError(f"viewport width must be in (0, 360], got {self.width_deg}")
+
+    def contains_bearing(self, bearing_deg: float) -> bool:
+        """Whether a relative bearing falls inside the cone."""
+        return abs(normalize_angle(bearing_deg)) <= self.width_deg / 2
+
+    def contains(self, observer: Pose, target_position: Vec3) -> bool:
+        """Whether ``target_position`` is visible from ``observer``."""
+        return self.contains_bearing(observer.bearing_to(target_position))
+
+    def max_savings_fraction(self) -> float:
+        """Upper bound on data savings from viewport-adaptive delivery.
+
+        The paper computes 1 - 150/360 ~= 58% for AltspaceVR.
+        """
+        return 1.0 - self.width_deg / 360.0
+
+
+HEADSET_VIEWPORT = Viewport(HEADSET_FOV_DEG)
+ALTSPACE_SERVER_VIEWPORT = Viewport(ALTSPACE_SERVER_VIEWPORT_DEG)
+
+
+def visible_count(observer: Pose, targets, viewport: Viewport) -> int:
+    """How many of ``targets`` (poses or positions) are in view."""
+    count = 0
+    for target in targets:
+        position = target.position if isinstance(target, Pose) else target
+        if viewport.contains(observer, position):
+            count += 1
+    return count

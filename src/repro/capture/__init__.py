@@ -1,0 +1,41 @@
+"""Traffic capture and analysis at the AP vantage point."""
+
+from .classify import (
+    CONTROL,
+    DATA,
+    ClassifiedFlow,
+    channel_flows,
+    channel_records,
+    classify_by_activity,
+    classify_by_protocol,
+    protocol_label,
+)
+from .flows import Flow, FlowTable
+from .pcap import PcapPacket, export_sniffer, read_pcap, write_pcap
+from .sniffer import DOWNLINK, PacketRecord, Sniffer, UPLINK
+from .timeseries import ThroughputSeries, average_kbps, correlation, throughput_series
+
+__all__ = [
+    "CONTROL",
+    "DATA",
+    "ClassifiedFlow",
+    "channel_flows",
+    "channel_records",
+    "classify_by_activity",
+    "classify_by_protocol",
+    "protocol_label",
+    "Flow",
+    "FlowTable",
+    "PcapPacket",
+    "export_sniffer",
+    "read_pcap",
+    "write_pcap",
+    "DOWNLINK",
+    "PacketRecord",
+    "Sniffer",
+    "UPLINK",
+    "ThroughputSeries",
+    "average_kbps",
+    "correlation",
+    "throughput_series",
+]

@@ -1,0 +1,160 @@
+"""Export captures to the classic libpcap file format.
+
+The paper's raw artifact is a set of Wireshark captures; this module
+lets a simulated capture leave the library the same way, as a
+``.pcap`` file (classic format, LINKTYPE_RAW: packets start at the
+IPv4 header) loadable in Wireshark/tcpdump/scapy. Payload bytes are
+zeros — platform traffic is encrypted anyway and every analysis in the
+paper works from headers and sizes — but addresses, ports, protocol,
+lengths, and timestamps are faithful.
+
+A matching reader is provided for round-tripping in tests and for
+re-importing previously exported captures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+import typing
+
+from ..net.address import Endpoint, IPAddress
+from ..net.packet import Protocol
+from .sniffer import DOWNLINK, PacketRecord, UPLINK
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_VERSION = (2, 4)
+#: LINKTYPE_RAW: packet data begins with the IPv4/IPv6 header.
+LINKTYPE_RAW = 101
+SNAPLEN = 65_535
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+_IPV4_HEADER = struct.Struct("!BBHHHBBHII")
+_UDP_HEADER = struct.Struct("!HHHH")
+_TCP_HEADER = struct.Struct("!HHIIBBHHH")
+_ICMP_HEADER = struct.Struct("!BBHI")
+
+_IP_PROTO = {Protocol.ICMP: 1, Protocol.TCP: 6, Protocol.UDP: 17}
+_IP_PROTO_REVERSE = {v: k for k, v in _IP_PROTO.items()}
+
+
+def write_pcap(records: typing.Sequence[PacketRecord], path: str) -> int:
+    """Write ``records`` to ``path``; returns the number written."""
+    with open(path, "wb") as handle:
+        handle.write(
+            _GLOBAL_HEADER.pack(
+                PCAP_MAGIC, *PCAP_VERSION, 0, 0, SNAPLEN, LINKTYPE_RAW
+            )
+        )
+        count = 0
+        for record in sorted(records, key=lambda r: r.time):
+            frame = _synthesize_frame(record)
+            seconds = int(record.time)
+            micros = int(round((record.time - seconds) * 1_000_000))
+            if micros >= 1_000_000:
+                seconds += 1
+                micros -= 1_000_000
+            handle.write(
+                _RECORD_HEADER.pack(seconds, micros, len(frame), len(frame))
+            )
+            handle.write(frame)
+            count += 1
+    return count
+
+
+def _synthesize_frame(record: PacketRecord) -> bytes:
+    """Build an IPv4 frame matching the record's headers and size."""
+    total_length = max(record.size, 28)
+    ip_payload_len = total_length - 20
+    header = _IPV4_HEADER.pack(
+        0x45,  # version 4, IHL 5
+        0,
+        total_length & 0xFFFF,
+        0,
+        0,
+        64,
+        _IP_PROTO[record.protocol],
+        0,  # checksum left zero (valid for analysis tooling)
+        record.src.ip.value,
+        record.dst.ip.value,
+    )
+    if record.protocol is Protocol.UDP:
+        transport = _UDP_HEADER.pack(
+            record.src.port, record.dst.port, ip_payload_len & 0xFFFF, 0
+        )
+    elif record.protocol is Protocol.TCP:
+        transport = _TCP_HEADER.pack(
+            record.src.port, record.dst.port, 0, 0, 0x50, 0x10, 8192, 0, 0
+        )
+    else:
+        transport = _ICMP_HEADER.pack(8, 0, 0, 0)
+    padding = b"\x00" * max(0, ip_payload_len - len(transport))
+    return header + transport + padding
+
+
+@dataclasses.dataclass(frozen=True)
+class PcapPacket:
+    """One packet parsed back from a pcap file."""
+
+    time: float
+    src: Endpoint
+    dst: Endpoint
+    protocol: Protocol
+    size: int
+
+
+def read_pcap(path: str) -> typing.List[PcapPacket]:
+    """Parse a pcap file written by :func:`write_pcap`."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    magic, major, minor, _tz, _sig, _snaplen, linktype = _GLOBAL_HEADER.unpack_from(
+        data, 0
+    )
+    if magic != PCAP_MAGIC:
+        raise ValueError(f"not a pcap file (magic 0x{magic:08x})")
+    if linktype != LINKTYPE_RAW:
+        raise ValueError(f"unsupported link type {linktype}")
+    packets = []
+    offset = _GLOBAL_HEADER.size
+    while offset + _RECORD_HEADER.size <= len(data):
+        seconds, micros, incl_len, _orig_len = _RECORD_HEADER.unpack_from(
+            data, offset
+        )
+        offset += _RECORD_HEADER.size
+        frame = data[offset : offset + incl_len]
+        offset += incl_len
+        packets.append(_parse_frame(seconds + micros / 1_000_000, frame))
+    return packets
+
+
+def _parse_frame(time: float, frame: bytes) -> PcapPacket:
+    (
+        _vihl,
+        _tos,
+        total_length,
+        _ident,
+        _frag,
+        _ttl,
+        proto,
+        _checksum,
+        src_ip,
+        dst_ip,
+    ) = _IPV4_HEADER.unpack_from(frame, 0)
+    protocol = _IP_PROTO_REVERSE[proto]
+    if protocol in (Protocol.UDP, Protocol.TCP):
+        src_port, dst_port = struct.unpack_from("!HH", frame, 20)
+    else:
+        src_port = dst_port = 0
+    return PcapPacket(
+        time=time,
+        src=Endpoint(IPAddress(src_ip), src_port),
+        dst=Endpoint(IPAddress(dst_ip), dst_port),
+        protocol=protocol,
+        size=total_length,
+    )
+
+
+def export_sniffer(sniffer, path: str) -> int:
+    """Convenience: dump a :class:`Sniffer`'s records to ``path``."""
+    return write_pcap(sniffer.records, path)

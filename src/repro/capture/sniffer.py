@@ -1,0 +1,109 @@
+"""Packet capture at a WiFi access point (the paper's vantage point).
+
+The testbed in Sec. 3.2 runs Wireshark on each AP. :class:`Sniffer`
+reproduces that: it taps the access links of one user's device and
+records per-packet metadata (never payloads — everything downstream
+works from headers, as the paper's analysis had to, since all traffic is
+encrypted).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..net.address import Endpoint
+from ..net.link import Link
+from ..net.packet import Packet, Protocol
+
+UPLINK = "up"
+DOWNLINK = "down"
+
+
+@dataclasses.dataclass(frozen=True)
+class PacketRecord:
+    """Header metadata of one captured packet."""
+
+    time: float
+    src: Endpoint
+    dst: Endpoint
+    protocol: Protocol
+    size: int
+    direction: str  # UPLINK or DOWNLINK relative to the monitored device
+
+    @property
+    def remote(self) -> Endpoint:
+        """The non-device end of the packet."""
+        return self.dst if self.direction == UPLINK else self.src
+
+    @property
+    def local(self) -> Endpoint:
+        """The device end of the packet."""
+        return self.src if self.direction == UPLINK else self.dst
+
+
+class Sniffer:
+    """Captures packets crossing a device's access links."""
+
+    def __init__(self, name: str = "ap-capture") -> None:
+        self.name = name
+        self.records: typing.List[PacketRecord] = []
+        self.enabled = True
+
+    def attach_access_links(self, uplink: Link, downlink: Link) -> None:
+        """Tap the device->AP and AP->device links."""
+        uplink.add_tap(self._make_tap(UPLINK))
+        downlink.add_tap(self._make_tap(DOWNLINK))
+
+    def _make_tap(self, direction: str):
+        def tap(packet: Packet, link: Link) -> None:
+            if not self.enabled:
+                return
+            self.records.append(
+                PacketRecord(
+                    time=link.sim.now,
+                    src=packet.src,
+                    dst=packet.dst,
+                    protocol=packet.protocol,
+                    size=packet.size,
+                    direction=direction,
+                )
+            )
+
+        return tap
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def filter(
+        self,
+        direction: typing.Optional[str] = None,
+        protocol: typing.Optional[Protocol] = None,
+        remote_port: typing.Optional[int] = None,
+        remote_ip=None,
+        start: typing.Optional[float] = None,
+        end: typing.Optional[float] = None,
+    ) -> typing.List[PacketRecord]:
+        """Select records matching all provided criteria."""
+        out = []
+        for record in self.records:
+            if direction is not None and record.direction != direction:
+                continue
+            if protocol is not None and record.protocol is not protocol:
+                continue
+            if remote_port is not None and record.remote.port != remote_port:
+                continue
+            if remote_ip is not None and record.remote.ip != remote_ip:
+                continue
+            if start is not None and record.time < start:
+                continue
+            if end is not None and record.time >= end:
+                continue
+            out.append(record)
+        return out
+
+    def total_bytes(self, **kwargs) -> int:
+        return sum(record.size for record in self.filter(**kwargs))
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,101 @@
+"""Throughput time series from packet captures.
+
+The figures in Secs. 4-6 and 8 plot instantaneous throughput binned over
+time (Kbps or Mbps). These helpers bin :class:`PacketRecord` streams the
+same way.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from .sniffer import PacketRecord
+
+
+class ThroughputSeries:
+    """A binned throughput series with convenient unit accessors."""
+
+    def __init__(self, times_s: np.ndarray, bits_per_bin: np.ndarray, bin_s: float) -> None:
+        self.times_s = times_s
+        self.bits_per_bin = bits_per_bin
+        self.bin_s = bin_s
+
+    @property
+    def bps(self) -> np.ndarray:
+        return self.bits_per_bin / self.bin_s
+
+    @property
+    def kbps(self) -> np.ndarray:
+        return self.bps / 1e3
+
+    @property
+    def mbps(self) -> np.ndarray:
+        return self.bps / 1e6
+
+    def mean_kbps(self, start: typing.Optional[float] = None, end: typing.Optional[float] = None) -> float:
+        """Average throughput (Kbps) over [start, end)."""
+        mask = np.ones_like(self.times_s, dtype=bool)
+        if start is not None:
+            mask &= self.times_s >= start
+        if end is not None:
+            mask &= self.times_s < end
+        if not mask.any():
+            return 0.0
+        return float(self.kbps[mask].mean())
+
+    def max_kbps(self) -> float:
+        return float(self.kbps.max()) if len(self.kbps) else 0.0
+
+    def __len__(self) -> int:
+        return len(self.times_s)
+
+
+def throughput_series(
+    records: typing.Sequence[PacketRecord],
+    start: float,
+    end: float,
+    bin_s: float = 1.0,
+) -> ThroughputSeries:
+    """Bin ``records`` into a throughput series over [start, end)."""
+    if end <= start:
+        raise ValueError(f"end ({end}) must exceed start ({start})")
+    n_bins = int(np.ceil((end - start) / bin_s))
+    bits = np.zeros(n_bins)
+    for record in records:
+        if start <= record.time < end:
+            index = int((record.time - start) / bin_s)
+            if index >= n_bins:
+                index = n_bins - 1
+            bits[index] += record.size * 8
+    times = start + (np.arange(n_bins) + 0.5) * bin_s
+    return ThroughputSeries(times, bits, bin_s)
+
+
+def average_kbps(
+    records: typing.Sequence[PacketRecord], start: float, end: float
+) -> float:
+    """Average throughput in Kbps over [start, end)."""
+    if end <= start:
+        raise ValueError(f"end ({end}) must exceed start ({start})")
+    total_bits = sum(r.size * 8 for r in records if start <= r.time < end)
+    return total_bits / (end - start) / 1e3
+
+
+def correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson correlation between two equal-length series.
+
+    Used for the Fig. 3 analysis: U1's uplink closely matches U2's
+    downlink when servers simply forward avatar data.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"series length mismatch: {len(a)} vs {len(b)}")
+    if len(a) < 2:
+        return 0.0
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    sa, sb = a.std(), b.std()
+    if sa == 0 or sb == 0:
+        return 0.0
+    return float(np.corrcoef(a, b)[0, 1])

@@ -1,0 +1,65 @@
+"""Core library: the paper's measurement methodology and analyses."""
+
+from .anycast import AnycastInference, VantageProbe, infer_anycast
+from .breakdown import (
+    BreakdownSample,
+    breakdown_consistent,
+    compute_breakdown,
+    dominant_component,
+)
+from .channels import ChannelEvidence, ChannelSeparationReport, analyze_channels
+from .findings import (
+    Finding,
+    check_finding_1_channels,
+    check_finding_2_throughput,
+    check_finding_3_scalability,
+    check_finding_4_latency,
+    check_finding_5_tcp_priority,
+)
+from .remote_rendering import (
+    AblationPoint,
+    ArchitectureComparison,
+    compare_architectures,
+    forwarding_crossover,
+    run_remote_rendering_ablation,
+)
+from .separation import AvatarSeparation, expected_avatar_kbps, separate
+from .solutions import (
+    SolutionPoint,
+    compare_solutions,
+    forwarding_reference,
+    run_interest_ablation,
+    run_p2p_ablation,
+)
+
+__all__ = [
+    "AnycastInference",
+    "VantageProbe",
+    "infer_anycast",
+    "BreakdownSample",
+    "breakdown_consistent",
+    "compute_breakdown",
+    "dominant_component",
+    "ChannelEvidence",
+    "ChannelSeparationReport",
+    "analyze_channels",
+    "Finding",
+    "check_finding_1_channels",
+    "check_finding_2_throughput",
+    "check_finding_3_scalability",
+    "check_finding_4_latency",
+    "check_finding_5_tcp_priority",
+    "AblationPoint",
+    "ArchitectureComparison",
+    "compare_architectures",
+    "forwarding_crossover",
+    "run_remote_rendering_ablation",
+    "AvatarSeparation",
+    "expected_avatar_kbps",
+    "separate",
+    "SolutionPoint",
+    "compare_solutions",
+    "forwarding_reference",
+    "run_interest_ablation",
+    "run_p2p_ablation",
+]

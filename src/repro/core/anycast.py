@@ -1,0 +1,114 @@
+"""Anycast inference from multi-vantage probes (Sec. 4.2).
+
+The paper's heuristic, implemented verbatim: probe the same advertised
+server address from several distant vantage points with ping and
+traceroute. The address is anycast when the vantages all reach "the"
+server with comparable (low) RTTs despite being far apart, and/or when
+the last hops before the server differ between vantages — either signal
+implies multiple physical instances behind one address. Different
+*addresses* per vantage instead indicate DNS-based regional assignment,
+not anycast.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..net.address import IPAddress
+from ..net.geo import Location
+
+#: RTT below which a vantage is considered "served locally".
+LOCAL_RTT_MS = 25.0
+#: Vantages must be at least this far apart for the RTT rule to mean
+#: anything (two nearby vantages would both be close to one server).
+MIN_VANTAGE_SPREAD_KM = 3000.0
+
+
+@dataclasses.dataclass(frozen=True)
+class VantageProbe:
+    """One vantage point's view of a server address."""
+
+    vantage: str
+    location: Location
+    server_ip: IPAddress
+    rtt_ms: typing.Optional[float]
+    #: Responding *router* addresses on the path, nearest-first (the
+    #: target itself is excluded even when it answered).
+    path_ips: typing.Tuple[IPAddress, ...] = ()
+
+    @property
+    def penultimate_hop(self) -> typing.Optional[IPAddress]:
+        """The last router before the target — the paper's path signal."""
+        if not self.path_ips:
+            return None
+        return self.path_ips[-1]
+
+
+@dataclasses.dataclass(frozen=True)
+class AnycastInference:
+    """The verdict plus the evidence that produced it."""
+
+    anycast: bool
+    reasons: typing.Tuple[str, ...]
+
+    def __bool__(self) -> bool:
+        return self.anycast
+
+
+def vantage_spread_km(probes: typing.Sequence[VantageProbe]) -> float:
+    """Largest pairwise distance between vantage points."""
+    best = 0.0
+    for i, a in enumerate(probes):
+        for b in probes[i + 1 :]:
+            best = max(best, a.location.distance_km(b.location))
+    return best
+
+
+def infer_anycast(probes: typing.Sequence[VantageProbe]) -> AnycastInference:
+    """Apply the paper's anycast heuristic to multi-vantage probes."""
+    if len(probes) < 2:
+        return AnycastInference(False, ("need at least two vantage points",))
+
+    ips = {probe.server_ip for probe in probes}
+    if len(ips) > 1:
+        return AnycastInference(
+            False,
+            (
+                f"different server addresses per vantage ({len(ips)} distinct): "
+                "regional/DNS assignment, not anycast",
+            ),
+        )
+
+    spread = vantage_spread_km(probes)
+    reasons = []
+
+    rtts = [probe.rtt_ms for probe in probes if probe.rtt_ms is not None]
+    rtt_rule = (
+        len(rtts) == len(probes)
+        and max(rtts) < LOCAL_RTT_MS
+        and spread >= MIN_VANTAGE_SPREAD_KM
+    )
+    if rtt_rule:
+        reasons.append(
+            f"all vantages {spread:.0f} km apart see <{LOCAL_RTT_MS:.0f} ms RTT "
+            f"(max {max(rtts):.1f} ms)"
+        )
+
+    penultimates = {
+        probe.penultimate_hop
+        for probe in probes
+        if probe.penultimate_hop is not None
+    }
+    hop_rule = len(penultimates) > 1
+    if hop_rule:
+        reasons.append(
+            f"{len(penultimates)} distinct penultimate hops toward one address"
+        )
+
+    if rtt_rule or hop_rule:
+        return AnycastInference(True, tuple(reasons))
+    return AnycastInference(
+        False,
+        ("single address, consistent path, distance-dependent RTT",),
+    )

@@ -1,0 +1,128 @@
+"""Remote rendering as the scalability fix: analysis + ablation (Sec. 6.3).
+
+Two artifacts:
+
+* :func:`compare_architectures` — the analytical comparison: per-viewer
+  downlink under forwarding (linear in users) vs remote rendering
+  (constant at the video bitrate), including the crossover point.
+* :func:`run_remote_rendering_ablation` — a packet-level ablation: a
+  viewer subscribed to a :class:`RemoteRenderingServer` receives the
+  same downlink regardless of how many users populate the room, unlike
+  the forwarding platforms measured in Fig. 7.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..capture.sniffer import DOWNLINK, Sniffer
+from ..capture.timeseries import throughput_series
+from ..net.geo import EAST_US
+from ..net.topology import ACCESS_BANDWIDTH, Network
+from ..server.remote_rendering import (
+    HD_QUALITY,
+    RemoteRenderingServer,
+    VideoQuality,
+    crossover_users,
+    forwarding_downlink_mbps,
+)
+from ..server.rooms import RoomRegistry
+from ..simcore import Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class ArchitectureComparison:
+    """Analytical per-user-count comparison of the two architectures."""
+
+    n_users: int
+    forwarding_mbps: float
+    remote_rendering_mbps: float
+
+    @property
+    def remote_rendering_wins(self) -> bool:
+        return self.remote_rendering_mbps < self.forwarding_mbps
+
+
+def compare_architectures(
+    avatar_kbps: float,
+    user_counts: typing.Sequence[int],
+    quality: VideoQuality = HD_QUALITY,
+) -> typing.List[ArchitectureComparison]:
+    """Forwarding vs remote rendering downlink across user counts."""
+    return [
+        ArchitectureComparison(
+            n_users=count,
+            forwarding_mbps=forwarding_downlink_mbps(avatar_kbps, count),
+            remote_rendering_mbps=quality.mbps,
+        )
+        for count in user_counts
+    ]
+
+
+def forwarding_crossover(avatar_kbps: float, quality: VideoQuality = HD_QUALITY) -> int:
+    """User count where forwarding starts to need more bandwidth."""
+    return crossover_users(avatar_kbps, quality)
+
+
+@dataclasses.dataclass
+class AblationPoint:
+    """Measured viewer downlink with remote rendering at one room size."""
+
+    n_users: int
+    down_mbps: float
+
+
+def run_remote_rendering_ablation(
+    user_counts: typing.Sequence[int] = (2, 5, 10, 15),
+    quality: VideoQuality = HD_QUALITY,
+    window_s: float = 10.0,
+    seed: int = 0,
+) -> typing.List[AblationPoint]:
+    """Measure a remote-rendering viewer's downlink vs room size.
+
+    The stream is one encoded video per viewer; the measured downlink
+    should be flat across ``user_counts`` (the Sec. 6.3 argument).
+    """
+    points = []
+    for count in user_counts:
+        sim = Simulator(seed=seed + count)
+        network = Network(sim)
+        core = network.add_router("core", EAST_US)
+        server_host = network.add_host("rr-server", EAST_US, provider="cloud")
+        viewer = network.add_host("viewer", EAST_US)
+        ap = network.add_router("ap", EAST_US)
+        network.connect(server_host, core, delay_s=0.0005)
+        network.connect(ap, core, delay_s=0.0008)
+        uplink, downlink = network.connect(
+            viewer, ap, bandwidth_bps=ACCESS_BANDWIDTH, delay_s=0.001
+        )
+        network.build_routes()
+        sniffer = Sniffer("rr-capture")
+        sniffer.attach_access_links(uplink, downlink)
+        rooms = RoomRegistry()
+        server = RemoteRenderingServer(sim, server_host, rooms, quality=quality)
+        # Populate the room: size must not change the stream.
+        room = rooms.room("event")
+        from ..server.rooms import MemberBinding
+
+        for index in range(count - 1):
+            room.join(
+                MemberBinding(
+                    user_id=f"peer-{index}", endpoint=None, server=server, observed=False
+                )
+            )
+        from ..net.address import Endpoint
+        from ..net.udp import UdpSocket
+
+        socket = UdpSocket(viewer, 9000)
+        socket.send_to(server.endpoint, 64, ("rr-subscribe", "viewer", "event"))
+        sim.run(until=2.0 + window_s)
+        series = throughput_series(
+            [r for r in sniffer.records if r.direction == DOWNLINK],
+            1.0,
+            1.0 + window_s,
+            bin_s=1.0,
+        )
+        points.append(AblationPoint(n_users=count, down_mbps=float(series.mbps.mean())))
+    return points

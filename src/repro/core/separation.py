@@ -1,0 +1,67 @@
+"""Avatar-data separation: the T' - T subtraction method (Sec. 5.2).
+
+The paper isolates avatar embodiment/motion traffic from everything
+else by differencing a user's downlink before and after a second muted
+user joins. These helpers formalize the arithmetic and sanity checks
+around :func:`repro.measure.throughput.measure_avatar_throughput`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..measure.stats import Summary
+
+
+@dataclasses.dataclass(frozen=True)
+class AvatarSeparation:
+    """Result of the subtraction method for one platform."""
+
+    platform: str
+    solo_downlink_kbps: float  # T: one muted user alone
+    joint_downlink_kbps: float  # T': after the second muted user joins
+    total_downlink_kbps: float  # full two-user steady downlink
+
+    @property
+    def avatar_kbps(self) -> float:
+        """The paper's Table 3 'Avatar' column: T' - T."""
+        return self.joint_downlink_kbps - self.solo_downlink_kbps
+
+    @property
+    def avatar_share(self) -> float:
+        """Fraction of total throughput attributable to avatar data."""
+        if self.total_downlink_kbps <= 0:
+            return 0.0
+        return max(0.0, min(1.0, self.avatar_kbps / self.total_downlink_kbps))
+
+    @property
+    def avatar_dominates(self) -> bool:
+        """The paper's claim: avatar data is the major portion."""
+        return self.avatar_share > 0.5
+
+
+def separate(
+    platform: str,
+    solo: Summary,
+    joint: Summary,
+    total: Summary,
+) -> AvatarSeparation:
+    """Build an :class:`AvatarSeparation` from measured summaries."""
+    return AvatarSeparation(
+        platform=platform,
+        solo_downlink_kbps=solo.mean,
+        joint_downlink_kbps=joint.mean,
+        total_downlink_kbps=total.mean,
+    )
+
+
+def expected_avatar_kbps(profile, transport_overhead_bytes: int = 28) -> float:
+    """First-principles prediction of one avatar's forwarded bitrate.
+
+    Useful as a cross-check of the measured subtraction: payload at the
+    platform's update rate, shrunk by the server's forward fraction,
+    plus per-packet transport overhead.
+    """
+    payload = profile.embodiment.update_payload_bytes()
+    forwarded = payload * profile.data.forward_fraction + transport_overhead_bytes
+    return forwarded * 8.0 * profile.data.update_rate_hz / 1000.0

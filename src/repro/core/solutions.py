@@ -1,0 +1,244 @@
+"""Ablation studies of the paper's candidate scalability solutions.
+
+Sec. 6.2/6.3 discuss three ways out of the linear-forwarding trap:
+
+1. **Remote rendering** (Sec. 6.3) — constant per-viewer downlink at
+   the video bitrate; see :mod:`repro.core.remote_rendering`.
+2. **Peer-to-peer exchange** — removes the server but shifts the cost
+   to every client's uplink (:func:`run_p2p_ablation` quantifies the
+   paper's prediction that "the scalability issues ... will remain").
+3. **Interest-scoped update rates** (Donnybrook-style) — full-rate
+   updates only for avatars a user interacts with
+   (:func:`run_interest_ablation`).
+
+:func:`compare_solutions` runs all architectures over the same user
+counts and reports per-viewer downlink, per-client uplink, and server
+forwarding load side by side.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+from ..avatar.pose import Pose, Vec3
+from ..capture.sniffer import DOWNLINK, Sniffer, UPLINK
+from ..capture.timeseries import average_kbps
+from ..net.geo import EAST_US
+from ..net.topology import ACCESS_BANDWIDTH, Network
+from ..platforms.profiles import get_profile
+from ..server.interest import InterestScopedServer
+from ..server.p2p import P2P_PORT_BASE, P2pMesh, P2pPeer
+from ..server.rooms import MemberBinding, RoomRegistry
+from ..simcore import Simulator
+
+MEASURE_WINDOW_S = 12.0
+SETTLE_S = 2.0
+
+
+@dataclasses.dataclass
+class SolutionPoint:
+    """Measured load of one architecture at one room size."""
+
+    architecture: str
+    n_users: int
+    viewer_down_kbps: float
+    viewer_up_kbps: float
+    server_forwarded_kbps: float
+
+
+def _observed_station(seed: int):
+    """A minimal topology with one observed viewer behind a sniffed AP."""
+    sim = Simulator(seed=seed)
+    network = Network(sim)
+    core = network.add_router("core", EAST_US)
+    ap = network.add_router("ap", EAST_US)
+    network.connect(ap, core, delay_s=0.0008)
+    viewer = network.add_host("viewer", EAST_US)
+    uplink, downlink = network.connect(
+        viewer, ap, bandwidth_bps=ACCESS_BANDWIDTH, delay_s=0.001
+    )
+    sniffer = Sniffer("solution-capture")
+    sniffer.attach_access_links(uplink, downlink)
+    return sim, network, core, viewer, sniffer
+
+
+def run_p2p_ablation(
+    user_counts: typing.Sequence[int] = (2, 5, 10, 15),
+    platform: str = "worlds",
+    seed: int = 0,
+) -> typing.List[SolutionPoint]:
+    """Full-mesh P2P: no server load, but uplink grows with the room."""
+    profile = get_profile(platform)
+    points = []
+    for count in user_counts:
+        sim, network, core, viewer, sniffer = _observed_station(seed + count)
+        peer_hosts = [viewer]
+        for index in range(count - 1):
+            host = network.add_host(f"peer-{index}", EAST_US)
+            network.connect(host, core, delay_s=0.001)
+            peer_hosts.append(host)
+        network.build_routes()
+        members = [
+            P2pPeer(
+                sim,
+                host,
+                f"user-{index}",
+                profile.embodiment,
+                profile.data.update_rate_hz,
+                P2P_PORT_BASE + index,
+            )
+            for index, host in enumerate(peer_hosts)
+        ]
+        mesh = P2pMesh(sim, members)
+        mesh.start()
+        end = SETTLE_S + MEASURE_WINDOW_S
+        sim.run(until=end)
+        points.append(
+            SolutionPoint(
+                architecture="p2p",
+                n_users=count,
+                viewer_down_kbps=average_kbps(
+                    [r for r in sniffer.records if r.direction == DOWNLINK],
+                    SETTLE_S,
+                    end,
+                ),
+                viewer_up_kbps=average_kbps(
+                    [r for r in sniffer.records if r.direction == UPLINK],
+                    SETTLE_S,
+                    end,
+                ),
+                server_forwarded_kbps=0.0,
+            )
+        )
+    return points
+
+
+def run_interest_ablation(
+    user_counts: typing.Sequence[int] = (2, 5, 10, 15),
+    platform: str = "worlds",
+    interest_set_size: int = 3,
+    background_divisor: int = 5,
+    seed: int = 0,
+) -> typing.List[SolutionPoint]:
+    """Interest-scoped forwarding: sublinear downlink growth."""
+    profile = get_profile(platform)
+    points = []
+    for count in user_counts:
+        sim, network, core, viewer, sniffer = _observed_station(seed + count)
+        server_host = network.add_host("data-server", EAST_US, provider="cloud")
+        network.connect(server_host, core, delay_s=0.0005)
+        network.build_routes()
+        rooms = RoomRegistry()
+        server = InterestScopedServer(
+            sim,
+            server_host,
+            rooms,
+            processing_delay=lambda n: 0.002,
+            forward_fraction=profile.data.forward_fraction,
+            interest_set_size=interest_set_size,
+            background_divisor=background_divisor,
+        )
+        room = rooms.room("event")
+        from ..net.address import Endpoint
+        from ..net.udp import UdpSocket
+
+        viewer_socket = UdpSocket(viewer, 24_000)
+        viewer_pose = Pose(position=Vec3(0.0, 0.0, 0.0))
+        room.join(
+            MemberBinding(
+                "viewer",
+                Endpoint(viewer.ip, 24_000),
+                server,
+                observed=True,
+                pose=viewer_pose,
+            )
+        )
+        # Crowd members spread on a ring: a few close, the rest far.
+        payload = profile.embodiment.update_payload_bytes()
+        senders = []
+        for index in range(count - 1):
+            radius = 1.0 + 2.0 * index
+            pose = Pose(position=Vec3(radius, 0.0, 0.0))
+            user_id = f"peer-{index}"
+            room.join(
+                MemberBinding(user_id, None, server, observed=False, pose=pose)
+            )
+            senders.append((user_id, pose))
+
+        from ..avatar.codec import AvatarCodec
+
+        codecs = {uid: AvatarCodec(profile.embodiment) for uid, _ in senders}
+
+        def tick() -> None:
+            for user_id, pose in senders:
+                size, update = codecs[user_id].encode(user_id, pose, sim.now)
+                server.ingest_update("event", user_id, size, update)
+            sim.schedule(1.0 / profile.data.update_rate_hz, tick)
+
+        sim.schedule(0.1, tick)
+        end = SETTLE_S + MEASURE_WINDOW_S
+        sim.run(until=end)
+        forwarded_kbps = (
+            8.0
+            * sum(m.forwarded_bytes for m in room.members.values())
+            / (end * 1000.0)
+        )
+        points.append(
+            SolutionPoint(
+                architecture=f"interest(k={interest_set_size})",
+                n_users=count,
+                viewer_down_kbps=average_kbps(
+                    [r for r in sniffer.records if r.direction == DOWNLINK],
+                    SETTLE_S,
+                    end,
+                ),
+                viewer_up_kbps=average_kbps(
+                    [r for r in sniffer.records if r.direction == UPLINK],
+                    SETTLE_S,
+                    end,
+                ),
+                server_forwarded_kbps=forwarded_kbps,
+            )
+        )
+    return points
+
+
+def forwarding_reference(
+    user_counts: typing.Sequence[int],
+    platform: str = "worlds",
+) -> typing.List[SolutionPoint]:
+    """Analytical baseline: today's forward-everything architecture."""
+    profile = get_profile(platform)
+    payload = profile.embodiment.update_payload_bytes()
+    up_kbps = (payload + 28) * 8 * profile.data.update_rate_hz / 1000.0
+    per_peer_down = (
+        (payload * profile.data.forward_fraction + 28)
+        * 8
+        * profile.data.update_rate_hz
+        / 1000.0
+    )
+    return [
+        SolutionPoint(
+            architecture="forwarding",
+            n_users=count,
+            viewer_down_kbps=per_peer_down * (count - 1),
+            viewer_up_kbps=up_kbps,
+            server_forwarded_kbps=per_peer_down * count * (count - 1),
+        )
+        for count in user_counts
+    ]
+
+
+def compare_solutions(
+    user_counts: typing.Sequence[int] = (2, 5, 10, 15),
+    platform: str = "worlds",
+    seed: int = 0,
+) -> typing.Dict[str, typing.List[SolutionPoint]]:
+    """All candidate architectures over the same room sizes."""
+    return {
+        "forwarding": forwarding_reference(user_counts, platform),
+        "p2p": run_p2p_ablation(user_counts, platform, seed=seed),
+        "interest": run_interest_ablation(user_counts, platform, seed=seed),
+    }

@@ -1,0 +1,30 @@
+"""Client device models: headsets, rendering, resources, metrics."""
+
+from .headset import (
+    DEVICES,
+    PC_CLIENT,
+    QUEST_2,
+    VIVE_COSMOS,
+    HeadsetProfile,
+    Resolution,
+    device,
+)
+from .metrics import MetricsSample, OvrMetricsSampler
+from .rendering import RenderCostProfile, RenderModel
+from .resources import ResourceModel, ResourceProfile
+
+__all__ = [
+    "DEVICES",
+    "PC_CLIENT",
+    "QUEST_2",
+    "VIVE_COSMOS",
+    "HeadsetProfile",
+    "Resolution",
+    "device",
+    "MetricsSample",
+    "OvrMetricsSampler",
+    "RenderCostProfile",
+    "RenderModel",
+    "ResourceModel",
+    "ResourceProfile",
+]

@@ -1,0 +1,73 @@
+"""An OVR-Metrics-Tool-style periodic performance sampler.
+
+The paper runs Oculus's OVR Metrics Tool on the Quest 2 to log FPS,
+stale frames, CPU/GPU utilization, and memory (Sec. 3.2). Our sampler
+polls the client's device state once a second and stores the same
+series; experiments then average over their measurement windows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricsSample:
+    """One sampling instant of device performance counters."""
+
+    time: float
+    fps: float
+    stale_per_s: float
+    cpu_pct: float
+    gpu_pct: float
+    memory_mb: float
+    visible_avatars: int
+    #: Remaining battery (Sec. 6.2: <10% drained in a 10-minute run).
+    battery_pct: float = 100.0
+
+
+class OvrMetricsSampler:
+    """Samples a client's device state at a fixed period."""
+
+    def __init__(self, sim, client, period_s: float = 1.0) -> None:
+        """``client`` must expose ``device_snapshot() -> MetricsSample``."""
+        self.sim = sim
+        self.client = client
+        self.period_s = period_s
+        self.samples: typing.List[MetricsSample] = []
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.schedule(self.period_s, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.samples.append(self.client.device_snapshot())
+        self.sim.schedule(self.period_s, self._tick)
+
+    # ------------------------------------------------------------------
+    # Aggregation over windows
+    # ------------------------------------------------------------------
+    def window(self, start: float, end: float) -> typing.List[MetricsSample]:
+        return [s for s in self.samples if start <= s.time < end]
+
+    def mean(self, field: str, start: float, end: float) -> typing.Optional[float]:
+        values = [getattr(s, field) for s in self.window(start, end)]
+        if not values:
+            return None
+        return statistics.fmean(values)
+
+    def series(self, field: str) -> tuple:
+        """(times, values) arrays for plotting-style output."""
+        times = [s.time for s in self.samples]
+        values = [getattr(s, field) for s in self.samples]
+        return times, values

@@ -1,0 +1,74 @@
+"""Local-rendering frame-time model and FPS accounting.
+
+All five platforms render locally on the headset (Sec. 6.3 lists the
+evidence), so per-frame cost grows with the number of visible avatars —
+the mechanism behind the FPS degradation of Fig. 7. Frame time is
+``base + per_avatar * visible`` (milliseconds on a Quest 2), scaled by
+the device's compute budget and inflated when the app is starved for
+CPU (the Sec. 8.1 disruption experiments show FPS collapsing while the
+client prioritizes recovering missing data).
+
+When frame time exceeds the refresh interval, the compositor re-shows
+the previous frame: a *stale frame*, exactly what the OVR Metrics Tool
+counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .headset import HeadsetProfile
+
+
+@dataclasses.dataclass(frozen=True)
+class RenderCostProfile:
+    """Per-platform rendering cost coefficients (Quest 2 baseline)."""
+
+    base_frame_ms: float
+    per_avatar_ms: float
+
+    def frame_time_ms(
+        self,
+        visible_avatars: int,
+        device: HeadsetProfile,
+        overload_factor: float = 1.0,
+    ) -> float:
+        """Predicted render time of one frame, milliseconds."""
+        if visible_avatars < 0:
+            raise ValueError(f"visible_avatars must be >= 0, got {visible_avatars}")
+        raw = self.base_frame_ms + self.per_avatar_ms * visible_avatars
+        return raw * overload_factor / device.compute_scale
+
+
+class RenderModel:
+    """FPS and stale-frame predictions for one client device."""
+
+    def __init__(self, cost: RenderCostProfile, device: HeadsetProfile) -> None:
+        self.cost = cost
+        self.device = device
+
+    def frame_time_ms(self, visible_avatars: int, overload_factor: float = 1.0) -> float:
+        return self.cost.frame_time_ms(visible_avatars, self.device, overload_factor)
+
+    def fps(self, visible_avatars: int, overload_factor: float = 1.0) -> float:
+        """Achieved FPS, capped at the display refresh rate."""
+        frame_ms = self.frame_time_ms(visible_avatars, overload_factor)
+        if frame_ms <= 0:
+            return self.device.refresh_hz
+        return min(self.device.refresh_hz, 1000.0 / frame_ms)
+
+    def stale_frames_per_s(self, visible_avatars: int, overload_factor: float = 1.0) -> float:
+        """Frames per second substituted with the previous frame."""
+        return max(0.0, self.device.refresh_hz - self.fps(visible_avatars, overload_factor))
+
+    def receiver_display_delay_s(
+        self, visible_avatars: int, overload_factor: float = 1.0
+    ) -> float:
+        """Decode + render + compositor wait before an update is visible.
+
+        Used by the latency breakdown (Sec. 7): receiver-side processing
+        is one frame of render work plus an average half-frame wait for
+        the next vsync.
+        """
+        frame_s = self.frame_time_ms(visible_avatars, overload_factor) / 1000.0
+        return frame_s + self.device.frame_interval_s / 2

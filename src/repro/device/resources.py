@@ -1,0 +1,97 @@
+"""On-device resource model: CPU, GPU, memory, battery (Fig. 8).
+
+The paper's Fig. 8 shows linear growth of CPU/GPU utilization and
+memory with the number of users, with platform-specific slopes:
+AltspaceVR shifts added load to the GPU (+25% GPU vs +15% CPU from 1 to
+15 users) while the others lean on the CPU (+20% CPU vs +10-15% GPU);
+each extra avatar costs ~10 MB of memory; energy is barely affected
+(<10% battery over a 10-minute run).
+
+Sec. 8.1 adds a coupling: when the downlink is throttled, the client
+burns extra CPU recovering missing data (``recovery_load``), which in
+turn starves rendering and the uplink path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+def _clamp(value: float, low: float = 0.0, high: float = 100.0) -> float:
+    return max(low, min(high, value))
+
+
+@dataclasses.dataclass(frozen=True)
+class ResourceProfile:
+    """Per-platform resource coefficients on a Quest 2."""
+
+    cpu_base_pct: float
+    cpu_per_avatar_pct: float
+    gpu_base_pct: float
+    gpu_per_avatar_pct: float
+    memory_base_mb: float
+    memory_per_avatar_mb: float
+    #: Battery percentage drained per minute at baseline load.
+    battery_pct_per_min: float
+    #: Extra CPU percentage per unit of recovery load (Sec. 8.1).
+    recovery_cpu_pct: float = 25.0
+
+
+class ResourceModel:
+    """Instantaneous resource predictions for one client."""
+
+    def __init__(self, profile: ResourceProfile, rng=None) -> None:
+        self.profile = profile
+        self._rng = rng
+
+    def _noise(self, scale: float) -> float:
+        if self._rng is None:
+            return 0.0
+        return self._rng.gauss(0.0, scale)
+
+    def cpu_pct(self, other_avatars: int, recovery_load: float = 0.0) -> float:
+        """CPU utilization with ``other_avatars`` remote users present."""
+        p = self.profile
+        value = (
+            p.cpu_base_pct
+            + p.cpu_per_avatar_pct * other_avatars
+            + p.recovery_cpu_pct * recovery_load
+            + self._noise(1.5)
+        )
+        return _clamp(value)
+
+    def gpu_pct(self, other_avatars: int, recovery_load: float = 0.0) -> float:
+        p = self.profile
+        # Under recovery pressure the GPU *drops* slightly: stale frames
+        # are re-shown instead of rendered (Fig. 12(b)).
+        value = (
+            p.gpu_base_pct
+            + p.gpu_per_avatar_pct * other_avatars
+            - 6.0 * recovery_load
+            + self._noise(1.5)
+        )
+        return _clamp(value)
+
+    def memory_mb(self, other_avatars: int) -> float:
+        p = self.profile
+        return p.memory_base_mb + p.memory_per_avatar_mb * other_avatars
+
+    def battery_drain_pct(self, duration_s: float, other_avatars: int) -> float:
+        """Battery percentage consumed over ``duration_s``.
+
+        Weakly dependent on avatar count, matching the paper's <10%
+        per 10 minutes across 1-15 users.
+        """
+        per_min = self.profile.battery_pct_per_min * (1.0 + 0.004 * other_avatars)
+        return per_min * duration_s / 60.0
+
+    def cpu_overload_factor(self, other_avatars: int, recovery_load: float = 0.0) -> float:
+        """How much CPU saturation inflates frame times (>=1).
+
+        Below 85% utilization rendering is unaffected; beyond that the
+        render thread loses its time slice proportionally.
+        """
+        cpu = self.cpu_pct(other_avatars, recovery_load)
+        if cpu <= 85.0:
+            return 1.0
+        return 1.0 + (cpu - 85.0) / 15.0

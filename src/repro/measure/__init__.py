@@ -1,0 +1,123 @@
+"""Measurement harness: testbeds, experiments, statistics, reports."""
+
+from .disruption import (
+    DisruptionRun,
+    QoeAssessment,
+    StageMetrics,
+    assess_latency_disruption,
+    assess_loss_disruption,
+    run_downlink_disruption,
+    run_tcp_uplink_control,
+    run_uplink_disruption,
+)
+from .autodriver import (
+    AutoDriver,
+    InputEvent,
+    InputScript,
+    latency_probe_script,
+    walk_and_chat_script,
+)
+from .experiment import (
+    ExperimentSpec,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+from .infrastructure import (
+    ChannelProbeReport,
+    InfrastructureReport,
+    PlatformUnavailableError,
+    RegionProbe,
+    probe_from_vantage,
+    probe_infrastructure,
+    regional_study,
+)
+from .prediction import ViewportTradeoffPoint, run_viewport_tradeoff
+from .repetition import RepeatedResult, repeat
+from .workload import CrowdChurn, PublicEventResult, run_public_event
+from .latency import LatencyBreakdown, measure_latency, measure_latency_scaling
+from .report import render_series, render_table, sparkline
+from .scalability import (
+    JoinTimeline,
+    ScalabilityPoint,
+    ViewportDetection,
+    detect_viewport_width,
+    run_hubs_large_scale,
+    run_join_timeline,
+    run_user_sweep,
+)
+from .session import Testbed, UserStation
+from .stats import LinearFit, Summary, linear_fit, linearity_r2, percent_change, summarize
+from .throughput import (
+    ChannelTimeline,
+    ForwardingEvidence,
+    TwoUserThroughput,
+    measure_avatar_throughput,
+    measure_channel_timeline,
+    measure_forwarding_correlation,
+    measure_two_user_throughput,
+    table3_row,
+)
+
+__all__ = [
+    "DisruptionRun",
+    "QoeAssessment",
+    "StageMetrics",
+    "assess_latency_disruption",
+    "assess_loss_disruption",
+    "run_downlink_disruption",
+    "run_tcp_uplink_control",
+    "run_uplink_disruption",
+    "AutoDriver",
+    "InputEvent",
+    "InputScript",
+    "latency_probe_script",
+    "walk_and_chat_script",
+    "ExperimentSpec",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+    "ChannelProbeReport",
+    "InfrastructureReport",
+    "PlatformUnavailableError",
+    "RegionProbe",
+    "probe_from_vantage",
+    "probe_infrastructure",
+    "regional_study",
+    "ViewportTradeoffPoint",
+    "run_viewport_tradeoff",
+    "RepeatedResult",
+    "repeat",
+    "CrowdChurn",
+    "PublicEventResult",
+    "run_public_event",
+    "LatencyBreakdown",
+    "measure_latency",
+    "measure_latency_scaling",
+    "render_series",
+    "render_table",
+    "sparkline",
+    "JoinTimeline",
+    "ScalabilityPoint",
+    "ViewportDetection",
+    "detect_viewport_width",
+    "run_hubs_large_scale",
+    "run_join_timeline",
+    "run_user_sweep",
+    "Testbed",
+    "UserStation",
+    "LinearFit",
+    "Summary",
+    "linear_fit",
+    "linearity_r2",
+    "percent_change",
+    "summarize",
+    "ChannelTimeline",
+    "ForwardingEvidence",
+    "TwoUserThroughput",
+    "measure_avatar_throughput",
+    "measure_channel_timeline",
+    "measure_forwarding_correlation",
+    "measure_two_user_throughput",
+    "table3_row",
+]

@@ -1,0 +1,160 @@
+"""AutoDriver-style scripted input playback (Sec. 9).
+
+The paper's future-work section builds on Oculus's AutoDriver tool,
+which "enables the test of VR applications by automatically playing
+back pre-defined inputs", to scale experiments beyond manual operation.
+This module provides the equivalent for simulated clients: an
+:class:`InputScript` of timed input events, JSON-serializable so
+scripts can be shared between experiment sites, and an
+:class:`AutoDriver` that replays one onto a :class:`PlatformClient`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing
+
+from ..avatar.motion import FacePoint, Spin, Stand, Wander
+from ..avatar.pose import Vec3
+
+#: Input kinds AutoDriver can replay.
+EVENT_KINDS = (
+    "teleport",  # value: [x, z]
+    "turn",  # value: degrees
+    "face",  # value: [x, z] point to face
+    "wander",  # value: room radius
+    "stand",  # value: null
+    "spin",  # value: degrees/second
+    "gesture",  # value: gesture name
+    "action",  # value: action id
+    "game",  # value: true/false
+    "mute",  # value: true/false
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class InputEvent:
+    """One timed input: when, what, and its parameter."""
+
+    at: float
+    kind: str
+    value: typing.Any = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"event time must be >= 0, got {self.at}")
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown input kind {self.kind!r}; choose from {EVENT_KINDS}"
+            )
+
+
+@dataclasses.dataclass
+class InputScript:
+    """A replayable sequence of input events."""
+
+    name: str
+    events: typing.List[InputEvent] = dataclasses.field(default_factory=list)
+
+    def add(self, at: float, kind: str, value=None) -> "InputScript":
+        self.events.append(InputEvent(at, kind, value))
+        return self
+
+    def sorted_events(self) -> typing.List[InputEvent]:
+        return sorted(self.events, key=lambda e: e.at)
+
+    @property
+    def duration(self) -> float:
+        return max((e.at for e in self.events), default=0.0)
+
+    # ------------------------------------------------------------------
+    # Serialization (scripts are shared between experiment sites)
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "events": [
+                    {"at": e.at, "kind": e.kind, "value": e.value}
+                    for e in self.sorted_events()
+                ],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "InputScript":
+        data = json.loads(text)
+        script = cls(name=data["name"])
+        for item in data["events"]:
+            script.add(item["at"], item["kind"], item.get("value"))
+        return script
+
+
+class AutoDriver:
+    """Replays an :class:`InputScript` onto one platform client."""
+
+    def __init__(self, client) -> None:
+        self.client = client
+        self.sim = client.sim
+        self.played: typing.List[InputEvent] = []
+
+    def play(self, script: InputScript, offset_s: float = 0.0) -> None:
+        """Schedule every event at ``offset_s + event.at``."""
+        for event in script.sorted_events():
+            self.sim.schedule_at(
+                max(self.sim.now, offset_s + event.at), self._apply, event
+            )
+
+    def _apply(self, event: InputEvent) -> None:
+        client = self.client
+        kind, value = event.kind, event.value
+        if kind == "teleport":
+            client.pose.position = Vec3(float(value[0]), 0.0, float(value[1]))
+        elif kind == "turn":
+            client.pose.turn(float(value))
+        elif kind == "face":
+            client.motion = FacePoint(Vec3(float(value[0]), 0.0, float(value[1])))
+        elif kind == "wander":
+            client.motion = Wander(room_radius=float(value))
+        elif kind == "stand":
+            client.motion = Stand()
+        elif kind == "spin":
+            client.motion = Spin(rate_deg_s=float(value))
+        elif kind == "gesture":
+            client.expressions.apply_gesture(
+                _gesture_event(str(value), self.sim.now)
+            )
+        elif kind == "action":
+            client.perform_action(int(value), self.sim.now)
+        elif kind == "game":
+            client.in_game = bool(value)
+        elif kind == "mute":
+            client.muted = bool(value)
+        self.played.append(event)
+
+
+def _gesture_event(gesture: str, at: float):
+    from ..avatar.expression import GestureEvent
+
+    return GestureEvent(gesture, at)
+
+
+def walk_and_chat_script(duration_s: float = 60.0) -> InputScript:
+    """The Table 3 behaviour as a canned script."""
+    return (
+        InputScript("walk-and-chat")
+        .add(0.0, "wander", 2.0)
+        .add(duration_s / 3, "gesture", "thumbs-up")
+        .add(duration_s / 2, "turn", 180.0)
+        .add(2 * duration_s / 3, "gesture", "wave")
+    )
+
+
+def latency_probe_script(n_actions: int = 10, interval_s: float = 2.0) -> InputScript:
+    """The Sec. 7 finger-touch sequence as a canned script."""
+    script = InputScript("latency-probe").add(0.0, "stand")
+    for index in range(n_actions):
+        script.add(1.0 + index * interval_s, "action", index)
+    return script

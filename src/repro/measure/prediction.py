@@ -1,0 +1,116 @@
+"""Viewport filtering trade-off: width vs prediction vs missing content.
+
+Sec. 6.1 notes the two sides of viewport-adaptive delivery: it saves
+bandwidth, but "when the prediction is not accurate, this optimization
+may lead to missing content". This experiment quantifies the trade-off
+with a continuously-turning user (the hardest case):
+
+* *missing-content fraction* — share of time a peer avatar is inside
+  the headset's actual FoV but its data is stale (no update within the
+  freshness bound),
+* *savings fraction* — share of avatar updates withheld by the server.
+
+Three compensators are compared: the bare headset FoV, AltspaceVR's
+widened 150-degree cone, and a narrow cone aimed by yaw-rate
+prediction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..avatar.motion import Spin, Stand
+from ..avatar.pose import Vec3
+from ..avatar.viewport import HEADSET_FOV_DEG, HEADSET_VIEWPORT
+from .session import Testbed
+
+#: An avatar whose last update is older than this renders stale.
+FRESHNESS_S = 0.3
+SAMPLE_PERIOD_S = 0.05
+
+
+@dataclasses.dataclass
+class ViewportTradeoffPoint:
+    """One configuration's missing-content vs savings outcome."""
+
+    viewport_deg: float
+    prediction_horizon_s: float
+    missing_fraction: float
+    savings_fraction: float
+    label: str = ""
+
+
+def run_viewport_tradeoff(
+    configurations: typing.Sequence[tuple] = (
+        (HEADSET_FOV_DEG, 0.0),
+        (150.0, 0.0),
+        (HEADSET_FOV_DEG, 0.3),
+    ),
+    spin_rate_deg_s: float = 90.0,
+    duration_s: float = 40.0,
+    seed: int = 0,
+) -> typing.List[ViewportTradeoffPoint]:
+    """Measure each (viewport width, prediction horizon) configuration."""
+    import dataclasses as dc
+
+    from ..platforms.profiles import get_profile
+
+    points = []
+    for width, horizon in configurations:
+        base = get_profile("altspacevr")
+        data = dc.replace(
+            base.data,
+            server_viewport_deg=width,
+            viewport_prediction_horizon_s=horizon,
+        )
+        profile = base.replace(data=data)
+        testbed = Testbed(profile, n_users=2, seed=seed)
+        u1, u2 = testbed.u1, testbed.u2
+        u1.client.pose.position = Vec3(0.0, 0.0, 0.0)
+        u1.client.motion = Spin(rate_deg_s=spin_rate_deg_s)
+        u2.client.pose.position = Vec3(0.0, 0.0, 3.0)
+        u2.client.motion = Stand(sway_deg=0.5)
+        testbed.start_all(join_at=2.0)
+
+        samples = {"visible": 0, "missing": 0}
+
+        def sample() -> None:
+            if u1.client.stage != "event":
+                testbed.sim.schedule(SAMPLE_PERIOD_S, sample)
+                return
+            state = u1.client.remote_avatars.get("u2")
+            in_fov = HEADSET_VIEWPORT.contains(
+                u1.client.pose, u2.client.pose.position
+            )
+            if in_fov:
+                samples["visible"] += 1
+                last = state.get("last_time", -10.0) if state else -10.0
+                if testbed.sim.now - last > FRESHNESS_S:
+                    samples["missing"] += 1
+            testbed.sim.schedule(SAMPLE_PERIOD_S, sample)
+
+        testbed.sim.schedule(6.0, sample)
+        testbed.run(until=6.0 + duration_s)
+        server = next(iter(testbed.deployment.data_servers.values()))
+        missing = (
+            samples["missing"] / samples["visible"] if samples["visible"] else 0.0
+        )
+        points.append(
+            ViewportTradeoffPoint(
+                viewport_deg=width,
+                prediction_horizon_s=horizon,
+                missing_fraction=missing,
+                savings_fraction=server.savings_fraction(),
+                label=_label(width, horizon),
+            )
+        )
+    return points
+
+
+def _label(width: float, horizon: float) -> str:
+    if horizon > 0:
+        return f"{width:.0f} deg + {horizon * 1000:.0f} ms prediction"
+    if width <= HEADSET_FOV_DEG:
+        return f"{width:.0f} deg (bare FoV)"
+    return f"{width:.0f} deg (widened cone)"

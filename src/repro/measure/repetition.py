@@ -1,0 +1,87 @@
+"""Repeated experiments: cross-run aggregation (Sec. 3.2).
+
+The paper reports "the averaged measurement results from more than 20
+experiments". A single simulation run already averages within its
+window; this module repeats whole experiments across seeds and
+aggregates any numeric field of their results, yielding the mean,
+standard deviation, and 95% confidence interval *across runs* — the
+quantity the paper's tables actually print.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from .stats import Summary, summarize
+
+
+@dataclasses.dataclass
+class RepeatedResult:
+    """Per-field cross-run aggregates plus the raw per-run results."""
+
+    runs: typing.List[typing.Any]
+    aggregates: typing.Dict[str, Summary]
+
+    def __getitem__(self, field: str) -> Summary:
+        return self.aggregates[field]
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.runs)
+
+
+def repeat(
+    experiment: typing.Callable[..., typing.Any],
+    n_runs: int = 20,
+    base_seed: int = 0,
+    fields: typing.Optional[typing.Sequence[str]] = None,
+    **kwargs,
+) -> RepeatedResult:
+    """Run ``experiment(seed=...)`` ``n_runs`` times and aggregate.
+
+    ``fields`` selects which attributes of each run's result to
+    aggregate; dotted paths reach into nested objects, and a field
+    resolving to a :class:`Summary` contributes its mean. With
+    ``fields=None`` every numeric/Summary attribute of the first
+    result is aggregated.
+    """
+    if n_runs < 1:
+        raise ValueError(f"n_runs must be >= 1, got {n_runs}")
+    runs = [
+        experiment(seed=base_seed + index, **kwargs) for index in range(n_runs)
+    ]
+    if fields is None:
+        fields = _numeric_fields(runs[0])
+    aggregates = {}
+    for field in fields:
+        values = [_resolve(run, field) for run in runs]
+        aggregates[field] = summarize(values)
+    return RepeatedResult(runs=runs, aggregates=aggregates)
+
+
+def _numeric_fields(result: typing.Any) -> typing.List[str]:
+    """Names of numeric or Summary-valued attributes of ``result``."""
+    fields = []
+    if dataclasses.is_dataclass(result):
+        names = [f.name for f in dataclasses.fields(result)]
+    else:
+        names = [n for n in vars(result) if not n.startswith("_")]
+    for name in names:
+        value = getattr(result, name)
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float, Summary)):
+            fields.append(name)
+    return fields
+
+
+def _resolve(result: typing.Any, dotted: str) -> float:
+    value = result
+    for part in dotted.split("."):
+        value = getattr(value, part)
+    if isinstance(value, Summary):
+        return value.mean
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"field {dotted!r} is not numeric: {value!r}")
+    return float(value)

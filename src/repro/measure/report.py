@@ -1,0 +1,70 @@
+"""Plain-text rendering of tables and figure series.
+
+Benchmarks print the same rows the paper's tables report and compact
+textual versions of its figures, so a terminal diff against the paper
+is possible without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import typing
+
+SPARK_LEVELS = " .:-=+*#%@"
+
+
+def render_table(
+    headers: typing.Sequence[str],
+    rows: typing.Sequence[typing.Sequence],
+    title: str = "",
+) -> str:
+    """Align ``rows`` under ``headers`` with column padding."""
+    table = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in table:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def sparkline(values: typing.Sequence[float], width: int = 60) -> str:
+    """A compact character plot of a series."""
+    data = list(values)
+    if not data:
+        return ""
+    if len(data) > width:
+        # Downsample by averaging fixed-size buckets.
+        bucket = len(data) / width
+        data = [
+            sum(data[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            / max(1, len(data[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))]))
+            for i in range(width)
+        ]
+    top = max(data)
+    if top <= 0:
+        return SPARK_LEVELS[0] * len(data)
+    out = []
+    for value in data:
+        level = int(round((len(SPARK_LEVELS) - 1) * max(0.0, value) / top))
+        out.append(SPARK_LEVELS[level])
+    return "".join(out)
+
+
+def render_series(
+    name: str, values: typing.Sequence[float], unit: str = "", width: int = 60
+) -> str:
+    """One labelled sparkline with min/mean/max annotations."""
+    data = list(values)
+    if not data:
+        return f"{name}: (no data)"
+    mean = sum(data) / len(data)
+    return (
+        f"{name:<28s} |{sparkline(data, width)}| "
+        f"min={min(data):.1f} mean={mean:.1f} max={max(data):.1f} {unit}"
+    )

@@ -1,0 +1,97 @@
+"""Statistics helpers: means, confidence intervals, linear fits.
+
+The paper reports "average result and standard deviation" for tables
+and 95% confidence-interval bands for figures, and repeatedly asserts
+*almost linear* growth — :func:`linear_fit`/:func:`linearity_r2`
+quantify that claim for the findings checker.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+import numpy as np
+
+#: Two-sided 97.5% normal quantile, for large-sample 95% CIs.
+Z_95 = 1.959963984540054
+
+
+@dataclasses.dataclass(frozen=True)
+class Summary:
+    """Mean, std, count, and a 95% confidence interval."""
+
+    mean: float
+    std: float
+    count: int
+
+    @property
+    def ci95_half_width(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return Z_95 * self.std / math.sqrt(self.count)
+
+    @property
+    def ci95(self) -> tuple:
+        hw = self.ci95_half_width
+        return (self.mean - hw, self.mean + hw)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.1f}/{self.std:.1f}"
+
+
+def summarize(values: typing.Sequence[float]) -> Summary:
+    """Summarize a sample; empty input yields a zero summary."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return Summary(0.0, 0.0, 0)
+    if data.size == 1:
+        return Summary(float(data[0]), 0.0, 1)
+    return Summary(float(data.mean()), float(data.std(ddof=1)), int(data.size))
+
+
+@dataclasses.dataclass(frozen=True)
+class LinearFit:
+    """Least-squares line y = slope * x + intercept with fit quality."""
+
+    slope: float
+    intercept: float
+    r2: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def linear_fit(xs: typing.Sequence[float], ys: typing.Sequence[float]) -> LinearFit:
+    """Fit a line; raises on fewer than two points."""
+    x = np.asarray(list(xs), dtype=float)
+    y = np.asarray(list(ys), dtype=float)
+    if x.size != y.size:
+        raise ValueError(f"length mismatch: {x.size} vs {y.size}")
+    if x.size < 2:
+        raise ValueError("need at least two points for a linear fit")
+    if np.ptp(x) == 0:
+        # Degenerate design (all x equal — e.g. a public event whose
+        # occupancy never changed): a flat line through the mean.
+        y_mean = float(y.mean())
+        r2 = 1.0 if np.ptp(y) == 0 else 0.0
+        return LinearFit(0.0, y_mean, r2)
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    ss_res = float(((y - predicted) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LinearFit(float(slope), float(intercept), r2)
+
+
+def linearity_r2(xs: typing.Sequence[float], ys: typing.Sequence[float]) -> float:
+    """R^2 of the best linear fit — the paper's 'almost linear' check."""
+    return linear_fit(xs, ys).r2
+
+
+def percent_change(start: float, end: float) -> float:
+    """Relative change in percent, as the paper quotes FPS drops."""
+    if start == 0:
+        raise ValueError("percent change from zero is undefined")
+    return 100.0 * (end - start) / start

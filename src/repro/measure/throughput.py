@@ -1,0 +1,238 @@
+"""Throughput experiments: Table 3, Fig. 2, Fig. 3 (Sec. 5).
+
+Three experiments live here:
+
+* :func:`measure_two_user_throughput` — the Table 3 measurement: two
+  Quest 2 users walk and chat in a private event; data-channel
+  throughput is averaged over the steady window, per direction.
+* :func:`measure_avatar_throughput` — the paper's subtraction method
+  (Sec. 5.2): U1 joins mutely and the downlink T is recorded; U2 then
+  joins mutely and the new downlink T' is recorded; T' - T is the
+  avatar embodiment + motion traffic.
+* :func:`measure_channel_timeline` — Fig. 2: per-second control/data
+  channel series across the welcome page -> social event transition.
+* :func:`measure_forwarding_correlation` — Fig. 3: U1's uplink vs
+  U2's downlink, whose match is the evidence for direct forwarding.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..capture.classify import (
+    CONTROL,
+    DATA,
+    channel_records,
+    classify_by_activity,
+)
+from ..capture.flows import FlowTable
+from ..capture.sniffer import DOWNLINK, UPLINK
+from ..capture.timeseries import ThroughputSeries, average_kbps, correlation, throughput_series
+from .session import Testbed, download_drain_s
+from .stats import Summary, summarize
+
+#: Seconds after joining before a steady-state window starts (lets
+#: join downloads and TCP slow start settle).
+SETTLE_S = 10.0
+
+
+@dataclasses.dataclass
+class TwoUserThroughput:
+    """One platform's Table 3 row."""
+
+    platform: str
+    up_kbps: Summary
+    down_kbps: Summary
+    resolution: str
+    avatar_kbps: typing.Optional[Summary] = None
+
+
+def _channel_split(station, welcome_window, event_window):
+    table = FlowTable(station.sniffer.records)
+    classified = classify_by_activity(table, welcome_window, event_window)
+    return (
+        channel_records(classified, CONTROL),
+        channel_records(classified, DATA),
+    )
+
+
+def _per_second_summary(records, direction, start, end) -> Summary:
+    series = throughput_series(
+        [r for r in records if r.direction == direction], start, end, bin_s=1.0
+    )
+    return summarize(series.kbps)
+
+
+def measure_two_user_throughput(
+    platform: str,
+    duration_s: float = 40.0,
+    seed: int = 0,
+    join_at: float = 2.0,
+) -> TwoUserThroughput:
+    """Table 3: steady data-channel throughput with two users."""
+    testbed = Testbed(platform, n_users=2, seed=seed)
+    testbed.start_all(join_at=join_at)
+    # Hubs re-downloads ~20 MB per join; keep it out of the window.
+    settle = SETTLE_S + download_drain_s(testbed.profile)
+    end = join_at + settle + duration_s
+    testbed.run(until=end)
+    start = join_at + settle
+    welcome_window = (0.0, join_at)
+    event_window = (start, end)
+    _control, data_records = _channel_split(testbed.u1, welcome_window, event_window)
+    return TwoUserThroughput(
+        platform=testbed.profile.name,
+        up_kbps=_per_second_summary(data_records, UPLINK, start, end),
+        down_kbps=_per_second_summary(data_records, DOWNLINK, start, end),
+        resolution=str(testbed.profile.app_resolution),
+    )
+
+
+def measure_avatar_throughput(
+    platform: str,
+    phase_s: float = 30.0,
+    seed: int = 0,
+) -> Summary:
+    """Sec. 5.2 subtraction method: avatar data = T' - T (Kbps).
+
+    U1 joins mutely at t=2; U2 joins at t=2+settle+phase. U1's
+    downlink is compared across the solo and two-user phases.
+    """
+    testbed = Testbed(platform, n_users=2, seed=seed)
+    settle = SETTLE_S + download_drain_s(testbed.profile)
+    join_u1 = 2.0
+    join_u2 = join_u1 + settle + phase_s
+    end = join_u2 + settle + phase_s
+    testbed.start_all(join_at=[join_u1, join_u2])
+    testbed.run(until=end)
+    welcome_window = (0.0, join_u1)
+    event_window = (join_u2 + settle, end)
+    _control, data_records = _channel_split(testbed.u1, welcome_window, event_window)
+    solo = throughput_series(
+        [r for r in data_records if r.direction == DOWNLINK],
+        join_u1 + settle,
+        join_u2 - 1.0,
+        bin_s=1.0,
+    )
+    both = throughput_series(
+        [r for r in data_records if r.direction == DOWNLINK],
+        join_u2 + settle,
+        end,
+        bin_s=1.0,
+    )
+    t = summarize(solo.kbps)
+    t_prime = summarize(both.kbps)
+    return Summary(
+        mean=t_prime.mean - t.mean,
+        std=(t.std**2 + t_prime.std**2) ** 0.5,
+        count=min(t.count, t_prime.count),
+    )
+
+
+def table3_row(platform: str, seed: int = 0) -> TwoUserThroughput:
+    """A complete Table 3 row: totals, resolution, avatar throughput."""
+    row = measure_two_user_throughput(platform, seed=seed)
+    row.avatar_kbps = measure_avatar_throughput(platform, seed=seed + 1)
+    return row
+
+
+@dataclasses.dataclass
+class ChannelTimeline:
+    """Fig. 2 data: per-second channel series for one user."""
+
+    platform: str
+    times_s: typing.Sequence[float]
+    control_up_kbps: typing.Sequence[float]
+    control_down_kbps: typing.Sequence[float]
+    data_up_kbps: typing.Sequence[float]
+    data_down_kbps: typing.Sequence[float]
+    event_join_at: float
+
+
+def measure_channel_timeline(
+    platform: str,
+    welcome_s: float = 90.0,
+    event_s: float = 90.0,
+    seed: int = 0,
+) -> ChannelTimeline:
+    """Fig. 2: control vs data channel throughput over both stages."""
+    total = welcome_s + event_s
+    testbed = Testbed(platform, n_users=2, seed=seed)
+    testbed.start_all(join_at=welcome_s)
+    testbed.run(until=total)
+    welcome_window = (2.0, welcome_s)
+    # The classification window starts after the per-join download so a
+    # download burst on the control connection does not masquerade as
+    # data-channel activity.
+    event_window = (
+        welcome_s + SETTLE_S + download_drain_s(testbed.profile),
+        total,
+    )
+    control_records, data_records = _channel_split(
+        testbed.u1, welcome_window, event_window
+    )
+    series = {}
+    for label, records in (("control", control_records), ("data", data_records)):
+        for direction in (UPLINK, DOWNLINK):
+            sub = [r for r in records if r.direction == direction]
+            series[(label, direction)] = throughput_series(sub, 0.0, total, bin_s=1.0)
+    reference = series[("control", UPLINK)]
+    return ChannelTimeline(
+        platform=testbed.profile.name,
+        times_s=list(reference.times_s),
+        control_up_kbps=list(series[("control", UPLINK)].kbps),
+        control_down_kbps=list(series[("control", DOWNLINK)].kbps),
+        data_up_kbps=list(series[("data", UPLINK)].kbps),
+        data_down_kbps=list(series[("data", DOWNLINK)].kbps),
+        event_join_at=welcome_s,
+    )
+
+
+@dataclasses.dataclass
+class ForwardingEvidence:
+    """Fig. 3 data: U1 uplink vs U2 downlink and their correlation."""
+
+    platform: str
+    times_s: typing.Sequence[float]
+    u1_up_kbps: typing.Sequence[float]
+    u2_down_kbps: typing.Sequence[float]
+    corr: float
+    down_up_ratio: float
+
+
+def measure_forwarding_correlation(
+    platform: str,
+    duration_s: float = 40.0,
+    seed: int = 0,
+) -> ForwardingEvidence:
+    """Fig. 3: does U2's downlink mirror U1's uplink?
+
+    A high correlation plus ratio ~1 (or the stable <1 ratio of Worlds)
+    is the paper's evidence that servers forward avatar data directly.
+    """
+    join_at = 2.0
+    testbed = Testbed(platform, n_users=2, seed=seed)
+    start = join_at + SETTLE_S + download_drain_s(testbed.profile)
+    end = start + duration_s
+    testbed.start_all(join_at=join_at)
+    testbed.run(until=end)
+    welcome_window = (0.0, join_at)
+    event_window = (start, end)
+    _c1, u1_data = _channel_split(testbed.u1, welcome_window, event_window)
+    _c2, u2_data = _channel_split(testbed.u2, welcome_window, event_window)
+    u1_up = throughput_series(
+        [r for r in u1_data if r.direction == UPLINK], start, end, bin_s=1.0
+    )
+    u2_down = throughput_series(
+        [r for r in u2_data if r.direction == DOWNLINK], start, end, bin_s=1.0
+    )
+    up_mean = max(u1_up.kbps.mean(), 1e-9)
+    return ForwardingEvidence(
+        platform=testbed.profile.name,
+        times_s=list(u1_up.times_s),
+        u1_up_kbps=list(u1_up.kbps),
+        u2_down_kbps=list(u2_down.kbps),
+        corr=correlation(u1_up.kbps, u2_down.kbps),
+        down_up_ratio=float(u2_down.kbps.mean() / up_mean),
+    )

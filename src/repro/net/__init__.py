@@ -1,0 +1,92 @@
+"""Simulated network substrate: geography, stack, tools.
+
+The public surface mirrors what the paper's measurement methodology
+touches: hosts and links, UDP/TCP/TLS/HTTPS/RTP protocols, a netem
+qdisc, and the ping/traceroute probing tools.
+"""
+
+from .address import AddressRegistry, AnycastGroup, Endpoint, IPAddress, Provider
+from .dns import Resolver
+from .geo import (
+    ALL_SITES,
+    EAST_US,
+    EUROPE_UK,
+    LOS_ANGELES,
+    MIDDLE_EAST,
+    NORTH_US,
+    WEST_US,
+    Location,
+    haversine_km,
+    nearest_site,
+)
+from .http import HttpsClient, HttpsConnection, HttpsServer
+from .link import Link
+from .netem import NetemQdisc
+from .node import AccessPoint, Host, Node, Router
+from .packet import (
+    MTU_PAYLOAD,
+    Packet,
+    Protocol,
+    TCP_MSS,
+    icmp_packet_size,
+    tcp_packet_size,
+    udp_packet_size,
+)
+from .ping import PingResult, ProbeTool
+from .rtp import RtcpPeer, RtpStream
+from .tcp import TcpConnection, TcpListener
+from .tls import TlsSession, record_overhead
+from .topology import ACCESS_BANDWIDTH, BACKBONE_BANDWIDTH, Network
+from .traceroute import TracerouteResult, TracerouteTool
+from .udp import UdpSocket
+from .webrtc import WebRtcSession
+
+__all__ = [
+    "AddressRegistry",
+    "AnycastGroup",
+    "Endpoint",
+    "IPAddress",
+    "Provider",
+    "Resolver",
+    "ALL_SITES",
+    "EAST_US",
+    "EUROPE_UK",
+    "LOS_ANGELES",
+    "MIDDLE_EAST",
+    "NORTH_US",
+    "WEST_US",
+    "Location",
+    "haversine_km",
+    "nearest_site",
+    "HttpsClient",
+    "HttpsConnection",
+    "HttpsServer",
+    "Link",
+    "NetemQdisc",
+    "AccessPoint",
+    "Host",
+    "Node",
+    "Router",
+    "MTU_PAYLOAD",
+    "Packet",
+    "Protocol",
+    "TCP_MSS",
+    "icmp_packet_size",
+    "tcp_packet_size",
+    "udp_packet_size",
+    "PingResult",
+    "ProbeTool",
+    "RtcpPeer",
+    "RtpStream",
+    "TcpConnection",
+    "TcpListener",
+    "TlsSession",
+    "record_overhead",
+    "ACCESS_BANDWIDTH",
+    "BACKBONE_BANDWIDTH",
+    "Network",
+    "TracerouteResult",
+    "TracerouteTool",
+    "UdpSocket",
+    "WebRtcSession",
+]

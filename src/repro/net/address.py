@@ -1,0 +1,126 @@
+"""IP-style addressing, provider blocks, and a WHOIS-like registry.
+
+The paper uses WHOIS data to attribute platform servers to providers
+(Microsoft, Meta, AWS, Cloudflare, ANS). We model the same mechanism:
+each :class:`Provider` owns /16-style blocks, addresses are allocated
+from them, and :func:`whois` maps an address back to its owner.
+
+Anycast (Sec. 4.2) is modelled by :class:`AnycastGroup`: one address
+shared by several physical hosts; routing delivers to the nearest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class IPAddress:
+    """A 32-bit address with a readable dotted representation."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < 2**32:
+            raise ValueError(f"address out of range: {self.value}")
+
+    def __str__(self) -> str:
+        v = self.value
+        return f"{(v >> 24) & 255}.{(v >> 16) & 255}.{(v >> 8) & 255}.{v & 255}"
+
+    @classmethod
+    def parse(cls, text: str) -> "IPAddress":
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise ValueError(f"not a dotted quad: {text!r}")
+        value = 0
+        for part in parts:
+            octet = int(part)
+            if not 0 <= octet <= 255:
+                raise ValueError(f"octet out of range in {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Endpoint:
+    """An (address, port) transport endpoint."""
+
+    ip: IPAddress
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.ip}:{self.port}"
+
+
+class Provider:
+    """An address-space owner (cloud or platform operator)."""
+
+    def __init__(self, name: str, block_prefix: int) -> None:
+        """``block_prefix`` is the /8 first octet of this provider's space."""
+        self.name = name
+        self.block_prefix = block_prefix
+        self._next_host = 1
+
+    def allocate(self) -> IPAddress:
+        """Allocate the next unused address in this provider's block."""
+        host = self._next_host
+        self._next_host += 1
+        if host >= 2**24:
+            raise RuntimeError(f"provider {self.name} exhausted its block")
+        return IPAddress((self.block_prefix << 24) | host)
+
+    def owns(self, ip: IPAddress) -> bool:
+        return (ip.value >> 24) == self.block_prefix
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Provider({self.name!r}, {self.block_prefix}.0.0.0/8)"
+
+
+class AddressRegistry:
+    """Allocates provider address space and answers WHOIS queries."""
+
+    def __init__(self) -> None:
+        self._providers: dict[str, Provider] = {}
+        self._next_prefix = 10
+
+    def provider(self, name: str) -> Provider:
+        """Return (creating if needed) the provider with ``name``."""
+        existing = self._providers.get(name)
+        if existing is not None:
+            return existing
+        provider = Provider(name, self._next_prefix)
+        self._next_prefix += 1
+        if self._next_prefix >= 224:
+            raise RuntimeError("registry ran out of /8 blocks")
+        self._providers[name] = provider
+        return provider
+
+    def whois(self, ip: IPAddress) -> typing.Optional[str]:
+        """Return the owner name of ``ip``, or None if unallocated space."""
+        for provider in self._providers.values():
+            if provider.owns(ip):
+                return provider.name
+        return None
+
+
+class AnycastGroup:
+    """One IP address announced from multiple physical hosts.
+
+    Routing (see :mod:`repro.net.topology`) sends traffic for the group
+    address to the member nearest each source, which is what makes the
+    paper's anycast-detection heuristic (comparable RTTs from distant
+    vantage points) come out positive for these services.
+    """
+
+    def __init__(self, ip: IPAddress, name: str = "") -> None:
+        self.ip = ip
+        self.name = name or str(ip)
+        self.members: list = []  # Host objects, appended by the topology
+
+    def add_member(self, host) -> None:
+        self.members.append(host)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AnycastGroup({self.name!r}, {len(self.members)} members)"

@@ -1,0 +1,40 @@
+"""Hostname resolution for the simulated infrastructure.
+
+The paper identifies Worlds' separate control and data servers partly by
+hostname (``edge-star-...`` vs ``oculus-verts-...``); the platform models
+register those names here so infrastructure analysis can report them.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from .address import IPAddress
+
+
+class NameError_(KeyError):
+    """Raised when a hostname is unknown to the resolver."""
+
+
+class Resolver:
+    """A flat hostname registry with reverse lookup."""
+
+    def __init__(self) -> None:
+        self._forward: dict[str, IPAddress] = {}
+        self._reverse: dict[int, str] = {}
+
+    def register(self, hostname: str, ip: IPAddress) -> None:
+        self._forward[hostname] = ip
+        self._reverse[ip.value] = hostname
+
+    def resolve(self, hostname: str) -> IPAddress:
+        try:
+            return self._forward[hostname]
+        except KeyError:
+            raise NameError_(hostname) from None
+
+    def reverse(self, ip: IPAddress) -> typing.Optional[str]:
+        return self._reverse.get(ip.value)
+
+    def known_hosts(self) -> list:
+        return sorted(self._forward)

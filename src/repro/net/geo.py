@@ -1,0 +1,101 @@
+"""Geographic model: locations, great-circle distances, propagation delay.
+
+The paper probes platform servers from the U.S. east coast, the northern
+U.S., Los Angeles, the United Kingdom, and the Middle East. We model each
+vantage point and server region as a :class:`Location` and derive one-way
+propagation delays from great-circle distance, the speed of light in
+fiber, and a routing-inflation factor that accounts for non-geodesic
+paths. The resulting RTTs land in the bands Table 2 reports (e.g. east
+coast to west coast ~72 ms, U.K. to west coast ~140-150 ms).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+EARTH_RADIUS_KM = 6371.0
+#: Speed of light in optical fiber, km/s (roughly 2/3 of c).
+FIBER_KM_PER_S = 200_000.0
+#: Multiplier for real routed paths vs. the geodesic.
+DEFAULT_PATH_INFLATION = 1.95
+#: Floor for one-way delay between distinct metro areas, seconds.
+MIN_METRO_DELAY_S = 0.0004
+
+
+@dataclasses.dataclass(frozen=True)
+class Location:
+    """A named geographic point with a coarse region label."""
+
+    name: str
+    lat: float
+    lon: float
+    region: str
+
+    def distance_km(self, other: "Location") -> float:
+        """Great-circle distance to ``other`` in kilometres."""
+        return haversine_km(self.lat, self.lon, other.lat, other.lon)
+
+    def one_way_delay_s(
+        self, other: "Location", inflation: float = DEFAULT_PATH_INFLATION
+    ) -> float:
+        """One-way propagation delay to ``other`` in seconds."""
+        if self == other:
+            return MIN_METRO_DELAY_S / 2
+        distance = self.distance_km(other) * inflation
+        return max(MIN_METRO_DELAY_S, distance / FIBER_KM_PER_S)
+
+    def rtt_ms(self, other: "Location", inflation: float = DEFAULT_PATH_INFLATION) -> float:
+        """Round-trip propagation time to ``other`` in milliseconds."""
+        return 2000.0 * self.one_way_delay_s(other, inflation)
+
+
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two (lat, lon) points in km."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlambda = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlambda / 2) ** 2
+    )
+    return 2 * EARTH_RADIUS_KM * math.asin(math.sqrt(a))
+
+
+# ----------------------------------------------------------------------
+# Named places used by the testbeds (Sec. 3.2 and Sec. 4.2 of the paper).
+# ----------------------------------------------------------------------
+EAST_US = Location("eastern-us", 38.83, -77.31, "us-east")
+NORTH_US = Location("northern-us", 44.98, -93.27, "us-north")
+WEST_US = Location("western-us", 45.52, -122.68, "us-west")
+LOS_ANGELES = Location("los-angeles", 34.05, -118.24, "us-west")
+EUROPE_UK = Location("united-kingdom", 51.51, -0.13, "eu-west")
+MIDDLE_EAST = Location("middle-east", 25.20, 55.27, "me")
+
+#: Metro areas where anycast providers (Cloudflare, ANS, Microsoft edge)
+#: operate points of presence; a vantage point is served by the nearest.
+ANYCAST_POP_SITES = (EAST_US, NORTH_US, WEST_US, LOS_ANGELES, EUROPE_UK, MIDDLE_EAST)
+
+ALL_SITES = {
+    site.name: site
+    for site in (EAST_US, NORTH_US, WEST_US, LOS_ANGELES, EUROPE_UK, MIDDLE_EAST)
+}
+
+#: Region labels as the paper's Table 2 prints them.
+REGION_LABELS = {
+    "us-east": "eastern-us",
+    "us-west": "western-us",
+    "us-north": "northern-us",
+    "eu-west": "europe",
+    "me": "middle-east",
+}
+
+
+def region_label(location: Location) -> str:
+    """Coarse region name for geolocation output (MaxMind-style)."""
+    return REGION_LABELS.get(location.region, location.region)
+
+
+def nearest_site(location: Location, candidates=ANYCAST_POP_SITES) -> Location:
+    """Return the candidate site geographically nearest to ``location``."""
+    return min(candidates, key=location.distance_km)

@@ -1,0 +1,128 @@
+"""Unidirectional links with transmission delay, queues, and taps.
+
+A :class:`Link` connects two nodes in one direction. It models:
+
+* serialization delay (``size * 8 / bandwidth``),
+* propagation delay (from the geographic model or set explicitly),
+* a drop-tail FIFO queue bounded in bytes,
+* an optional :class:`~repro.net.netem.NetemQdisc` (Sec. 8 disruptions),
+* optional capture taps (the Wireshark vantage point of Sec. 3.2).
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from .netem import NetemQdisc
+from .packet import Packet
+
+#: Default queue depth — a few dozen MTUs, typical for a WiFi AP.
+DEFAULT_QUEUE_BYTES = 120_000
+
+
+class Link:
+    """One direction of a point-to-point link between two nodes."""
+
+    def __init__(
+        self,
+        sim,
+        src,
+        dst,
+        bandwidth_bps: float,
+        delay_s: float,
+        queue_bytes: int = DEFAULT_QUEUE_BYTES,
+        name: str = "",
+        jitter_s: float = 0.0,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if delay_s < 0:
+            raise ValueError(f"delay must be >= 0, got {delay_s}")
+        if jitter_s < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter_s}")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_s = delay_s
+        #: Per-packet propagation jitter (std of a half-normal draw);
+        #: gives the small RTT standard deviations the paper's Table 2
+        #: reports. Reordering is prevented by a FIFO delivery clamp.
+        self.jitter_s = jitter_s
+        self.queue_bytes = queue_bytes
+        self.name = name or f"{src.name}->{dst.name}"
+        self._rng = sim.rng(f"link-jitter:{self.name}") if jitter_s > 0 else None
+        self._last_delivery_at = 0.0
+        self.qdisc: typing.Optional[NetemQdisc] = None
+        self._taps: list[typing.Callable[[Packet, "Link"], None]] = []
+        self._queue: collections.deque = collections.deque()
+        self._queued_bytes = 0
+        self._transmitting = False
+        self.delivered_packets = 0
+        self.delivered_bytes = 0
+        self.dropped_packets = 0
+
+    # ------------------------------------------------------------------
+    # Attachments
+    # ------------------------------------------------------------------
+    def attach_qdisc(self, qdisc: NetemQdisc) -> NetemQdisc:
+        """Install a netem qdisc at this link's egress."""
+        self.qdisc = qdisc
+        return qdisc
+
+    def add_tap(self, tap: typing.Callable[[Packet, "Link"], None]) -> None:
+        """Register a capture callback fired for every enqueued packet."""
+        self._taps.append(tap)
+
+    # ------------------------------------------------------------------
+    # Datapath
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        """Enqueue ``packet`` for transmission toward ``dst``."""
+        if self.qdisc is not None and self.qdisc.active:
+            self.qdisc.process(packet, self._enqueue)
+        else:
+            self._enqueue(packet)
+
+    def _enqueue(self, packet: Packet) -> None:
+        # Taps observe post-qdisc traffic: what a capture at the AP sees
+        # once tc-netem shaping (Sec. 8) has been applied.
+        for tap in self._taps:
+            tap(packet, self)
+        if self._queued_bytes + packet.size > self.queue_bytes:
+            self.dropped_packets += 1
+            return
+        self._queue.append(packet)
+        self._queued_bytes += packet.size
+        if not self._transmitting:
+            self._transmit_next()
+
+    def _transmit_next(self) -> None:
+        if not self._queue:
+            self._transmitting = False
+            return
+        self._transmitting = True
+        packet = self._queue.popleft()
+        self._queued_bytes -= packet.size
+        tx_time = packet.size * 8.0 / self.bandwidth_bps
+        jitter = abs(self._rng.gauss(0.0, self.jitter_s)) if self._rng else 0.0
+        delivery_at = max(
+            self.sim.now + tx_time + self.delay_s + jitter,
+            self._last_delivery_at,  # FIFO: jitter must not reorder
+        )
+        self._last_delivery_at = delivery_at
+        self.sim.schedule_at(delivery_at, self._deliver, packet)
+        self.sim.schedule(tx_time, self._transmit_next)
+
+    def _deliver(self, packet: Packet) -> None:
+        self.delivered_packets += 1
+        self.delivered_bytes += packet.size
+        self.dst.receive(packet, self)
+
+    @property
+    def backlog_bytes(self) -> int:
+        return self._queued_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.name}, {self.bandwidth_bps / 1e6:.1f}Mbps, {self.delay_s * 1000:.2f}ms)"

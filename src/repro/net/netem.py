@@ -1,0 +1,133 @@
+"""A ``tc-netem``-style qdisc for emulating network disruptions.
+
+Section 8 of the paper shapes the uplink and downlink of user U1 at the
+WiFi AP with ``tc-netem``: bandwidth limits, added latency, and random
+packet loss — optionally restricted to one protocol (they shape *only*
+TCP uplink traffic to expose Horizon Worlds' TCP-over-UDP priority). The
+:class:`NetemQdisc` reproduces that: a packet filter, a Bernoulli loss
+stage, a fixed extra delay, and a rate-limited FIFO queue.
+
+A qdisc is attached to a :class:`repro.net.link.Link`; when inactive it
+is transparent.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from .packet import Packet, Protocol
+
+
+class NetemQdisc:
+    """Configurable emulation of ``tc netem`` + ``tbf`` on one link."""
+
+    def __init__(self, sim, rng_name: str = "netem") -> None:
+        self.sim = sim
+        self._rng = sim.rng(rng_name)
+        self.rate_bps: typing.Optional[float] = None
+        self.delay_s: float = 0.0
+        self.loss_rate: float = 0.0
+        self.protocol_filter: typing.Optional[Protocol] = None
+        #: Shallow shaping queue, as tc-tbf defaults are: a deep buffer
+        #: would add seconds of latency at the Sec. 8 rates and starve
+        #: small control packets behind bulk UDP.
+        self.queue_limit_bytes: int = 30_000
+        self._queue: collections.deque = collections.deque()
+        self._queued_bytes = 0
+        self._busy_until = 0.0
+        self.dropped_packets = 0
+        self.shaped_packets = 0
+
+    # ------------------------------------------------------------------
+    # Configuration (mirrors the tc command surface the paper used)
+    # ------------------------------------------------------------------
+    def configure(
+        self,
+        rate_bps: typing.Optional[float] = None,
+        delay_s: float = 0.0,
+        loss_rate: float = 0.0,
+        protocol_filter: typing.Optional[Protocol] = None,
+    ) -> None:
+        """Set all shaping knobs at once (like re-issuing ``tc qdisc``)."""
+        if rate_bps is not None and rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {loss_rate}")
+        if delay_s < 0:
+            raise ValueError(f"delay must be >= 0, got {delay_s}")
+        self.rate_bps = rate_bps
+        self.delay_s = delay_s
+        self.loss_rate = loss_rate
+        self.protocol_filter = protocol_filter
+
+    def clear(self) -> None:
+        """Remove all shaping (``tc qdisc del``); queued packets drain."""
+        self.rate_bps = None
+        self.delay_s = 0.0
+        self.loss_rate = 0.0
+        self.protocol_filter = None
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.rate_bps is not None
+            or self.delay_s > 0
+            or self.loss_rate > 0
+        )
+
+    # ------------------------------------------------------------------
+    # Datapath
+    # ------------------------------------------------------------------
+    def matches(self, packet: Packet) -> bool:
+        """Whether the filter selects this packet for shaping."""
+        if self.protocol_filter is None:
+            return True
+        return packet.protocol is self.protocol_filter
+
+    def process(self, packet: Packet, deliver: typing.Callable[[Packet], None]) -> None:
+        """Run ``packet`` through loss, delay, and rate stages.
+
+        ``deliver`` is invoked (possibly later) for packets that survive.
+        Packets not matching the filter pass through untouched.
+        """
+        if not self.active or not self.matches(packet):
+            deliver(packet)
+            return
+        self.shaped_packets += 1
+        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+            self.dropped_packets += 1
+            return
+        if self.rate_bps is None:
+            if self.delay_s > 0:
+                self.sim.schedule(self.delay_s, deliver, packet)
+            else:
+                deliver(packet)
+            return
+        # Rate-limited path: FIFO queue served at rate_bps, extra delay
+        # applied after the transmission completes (netem delay is
+        # modelled at egress).
+        if self._queued_bytes + packet.size > self.queue_limit_bytes:
+            self.dropped_packets += 1
+            return
+        self._queue.append((packet, deliver))
+        self._queued_bytes += packet.size
+        self._pump()
+
+    def _pump(self) -> None:
+        if not self._queue:
+            return
+        now = self.sim.now
+        if self._busy_until > now:
+            return
+        packet, deliver = self._queue.popleft()
+        self._queued_bytes -= packet.size
+        rate = self.rate_bps or float("inf")
+        tx_time = packet.size * 8.0 / rate
+        self._busy_until = now + tx_time
+        self.sim.schedule(tx_time + self.delay_s, deliver, packet)
+        self.sim.schedule(tx_time, self._pump)
+
+    @property
+    def backlog_bytes(self) -> int:
+        return self._queued_bytes

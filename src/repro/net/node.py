@@ -1,0 +1,258 @@
+"""Network nodes: routers and hosts with a transport demultiplexer.
+
+Routers forward by next-hop tables built from the topology, decrement
+TTL, and emit ICMP time-exceeded replies (which is what makes the
+simulated ``traceroute`` of Sec. 4.2 work). Hosts terminate traffic,
+answer ICMP echo and TCP probes (unless the operator blocks them, as the
+Hubs data servers do in the paper), and dispatch UDP/TCP packets to
+registered protocol handlers.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from .address import Endpoint, IPAddress
+from .packet import ICMP_HEADER, IP_HEADER, Packet, Protocol, icmp_packet_size
+
+ICMP_PORT = 0
+
+
+class Node:
+    """Base class holding egress links and a next-hop routing table."""
+
+    def __init__(self, sim, name: str, location, ip: IPAddress) -> None:
+        self.sim = sim
+        self.name = name
+        self.location = location
+        self.ip = ip
+        self.egress: dict[str, "object"] = {}  # neighbor name -> Link
+        self.routes: dict[int, "object"] = {}  # dst ip value -> Link
+        self.default_route: typing.Optional[object] = None
+
+    def add_egress(self, link) -> None:
+        self.egress[link.dst.name] = link
+
+    def route_for(self, dst_ip: IPAddress):
+        link = self.routes.get(dst_ip.value)
+        if link is None:
+            link = self.default_route
+        return link
+
+    def forward(self, packet: Packet) -> bool:
+        """Send ``packet`` toward its destination; False if unroutable."""
+        link = self.route_for(packet.dst.ip)
+        if link is None:
+            return False
+        link.send(packet)
+        return True
+
+    def receive(self, packet: Packet, link) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, {self.ip})"
+
+
+class Router(Node):
+    """A forwarding node that decrements TTL and reports expiry."""
+
+    def receive(self, packet: Packet, link) -> None:
+        packet.ttl -= 1
+        if packet.ttl <= 0:
+            self._send_time_exceeded(packet)
+            return
+        self.forward(packet)
+
+    def _send_time_exceeded(self, original: Packet) -> None:
+        reply = Packet(
+            src=Endpoint(self.ip, ICMP_PORT),
+            dst=original.src,
+            protocol=Protocol.ICMP,
+            size=IP_HEADER + ICMP_HEADER + 28,
+            payload=("time-exceeded", self.ip, original.payload),
+            created_at=self.sim.now,
+        )
+        self.forward(reply)
+
+
+class Host(Node):
+    """An endpoint: user device, WiFi AP uplink, or platform server."""
+
+    def __init__(
+        self,
+        sim,
+        name: str,
+        location,
+        ip: IPAddress,
+        icmp_blocked: bool = False,
+        tcp_probe_blocked: bool = False,
+    ) -> None:
+        super().__init__(sim, name, location, ip)
+        #: All addresses this host answers for (unicast + anycast).
+        self.addresses: set[int] = {ip.value}
+        self.icmp_blocked = icmp_blocked
+        self.tcp_probe_blocked = tcp_probe_blocked
+        #: (protocol, local port) -> callable(packet)
+        self._handlers: dict[tuple, typing.Callable[[Packet], None]] = {}
+        #: probe token -> callable(reply packet) for ping/traceroute tools
+        self.probe_waiters: dict[object, typing.Callable[[Packet], None]] = {}
+        self.received_packets = 0
+        self.received_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Transport registration
+    # ------------------------------------------------------------------
+    def bind(
+        self, protocol: Protocol, port: int, handler: typing.Callable[[Packet], None]
+    ) -> None:
+        key = (protocol, port)
+        if key in self._handlers:
+            raise ValueError(f"{self.name}: port {port}/{protocol} already bound")
+        self._handlers[key] = handler
+
+    def unbind(self, protocol: Protocol, port: int) -> None:
+        self._handlers.pop((protocol, port), None)
+
+    def send(self, packet: Packet) -> bool:
+        """Originate ``packet`` from this host."""
+        if packet.dst.ip.value in self.addresses:
+            # Loopback delivery without touching the network.
+            self.sim.schedule(0.0, self.receive, packet, None)
+            return True
+        return self.forward(packet)
+
+    # ------------------------------------------------------------------
+    # Reception
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, link) -> None:
+        if packet.dst.ip.value not in self.addresses:
+            # Not ours: hosts do not forward transit traffic.
+            return
+        self.received_packets += 1
+        self.received_bytes += packet.size
+        if packet.protocol is Protocol.ICMP:
+            self._handle_icmp(packet)
+            return
+        if self._handle_probe(packet):
+            return
+        handler = self._handlers.get((packet.protocol, packet.dst.port))
+        if handler is not None:
+            handler(packet)
+
+    # ------------------------------------------------------------------
+    # ICMP echo and probe machinery (ping / tcp-ping / traceroute)
+    # ------------------------------------------------------------------
+    def _handle_icmp(self, packet: Packet) -> None:
+        payload = packet.payload
+        if not isinstance(payload, tuple) or not payload:
+            return
+        kind = payload[0]
+        if kind == "echo-request":
+            if self.icmp_blocked:
+                return
+            token = payload[1]
+            # Reply from the address the probe targeted (so anycast
+            # destinations answer from the anycast address, as real
+            # deployments do).
+            reply = Packet(
+                src=Endpoint(packet.dst.ip, ICMP_PORT),
+                dst=packet.src,
+                protocol=Protocol.ICMP,
+                size=icmp_packet_size(),
+                payload=("echo-reply", token),
+                created_at=self.sim.now,
+            )
+            self.send(reply)
+        elif kind in ("echo-reply", "time-exceeded"):
+            token = payload[1] if kind == "echo-reply" else _probe_token(payload[2])
+            waiter = self.probe_waiters.pop(token, None)
+            if waiter is not None:
+                waiter(packet)
+
+    def _handle_probe(self, packet: Packet) -> bool:
+        """Answer TCP SYN probes (used when ICMP is blocked, Sec. 4.2)."""
+        payload = packet.payload
+        if not isinstance(payload, tuple) or not payload:
+            return False
+        if payload[0] == "syn-probe":
+            if not self.tcp_probe_blocked:
+                token = payload[1]
+                reply = Packet(
+                    src=packet.dst,
+                    dst=packet.src,
+                    protocol=Protocol.TCP,
+                    size=IP_HEADER + 20,
+                    payload=("rst-probe", token),
+                    created_at=self.sim.now,
+                )
+                self.send(reply)
+            return True
+        if payload[0] == "rst-probe":
+            waiter = self.probe_waiters.pop(payload[1], None)
+            if waiter is not None:
+                waiter(packet)
+            return True
+        return False
+
+
+def _probe_token(original_payload) -> typing.Optional[object]:
+    """Extract the probe token embedded in an expired probe's payload."""
+    if isinstance(original_payload, tuple) and len(original_payload) >= 2:
+        return original_payload[1]
+    return None
+
+
+class AccessPoint(Router):
+    """A WiFi AP: forwards like a router, probes like a host.
+
+    The paper's testbed pings platform servers and runs traceroute from
+    the WiFi APs themselves (Sec. 3.2, 4.2), so the AP must be able to
+    originate ICMP/TCP probes and receive the replies while still
+    forwarding its client device's traffic.
+    """
+
+    def __init__(self, sim, name: str, location, ip: IPAddress) -> None:
+        super().__init__(sim, name, location, ip)
+        self.probe_waiters: dict[object, typing.Callable[[Packet], None]] = {}
+
+    def send(self, packet: Packet) -> bool:
+        """Originate a probe packet from this AP."""
+        return self.forward(packet)
+
+    def receive(self, packet: Packet, link) -> None:
+        if packet.dst.ip.value == self.ip.value:
+            self._handle_own(packet)
+            return
+        super().receive(packet, link)
+
+    def _handle_own(self, packet: Packet) -> None:
+        payload = packet.payload
+        if not isinstance(payload, tuple) or not payload:
+            return
+        kind = payload[0]
+        if packet.protocol is Protocol.ICMP:
+            if kind == "echo-request":
+                reply = Packet(
+                    src=Endpoint(packet.dst.ip, ICMP_PORT),
+                    dst=packet.src,
+                    protocol=Protocol.ICMP,
+                    size=icmp_packet_size(),
+                    payload=("echo-reply", payload[1]),
+                    created_at=self.sim.now,
+                )
+                self.forward(reply)
+                return
+            if kind == "echo-reply":
+                token = payload[1]
+            elif kind == "time-exceeded":
+                token = _probe_token(payload[2])
+            else:
+                return
+            waiter = self.probe_waiters.pop(token, None)
+            if waiter is not None:
+                waiter(packet)
+        elif kind == "rst-probe":
+            waiter = self.probe_waiters.pop(payload[1], None)
+            if waiter is not None:
+                waiter(packet)

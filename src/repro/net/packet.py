@@ -1,0 +1,101 @@
+"""Packet model shared by every protocol in the simulated stack.
+
+A :class:`Packet` carries enough header truth (addresses, ports,
+protocol, sizes, TTL) for the capture layer to classify flows exactly the
+way the paper does — from the wire, without peeking at payload semantics.
+Payloads are opaque Python objects interpreted only by endpoints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+import typing
+
+from .address import Endpoint
+
+#: Header sizes in bytes, used for on-the-wire accounting.
+IP_HEADER = 20
+UDP_HEADER = 8
+TCP_HEADER = 20
+ICMP_HEADER = 8
+TLS_RECORD_OVERHEAD = 29
+RTP_HEADER = 12
+
+DEFAULT_TTL = 64
+#: Maximum transport payload per packet (Ethernet MTU minus IP header).
+MTU_PAYLOAD = 1480
+TCP_MSS = 1460
+
+_packet_ids = itertools.count(1)
+
+
+class Protocol(enum.Enum):
+    """Wire protocol of a packet, as a capture tool would see it."""
+
+    UDP = "udp"
+    TCP = "tcp"
+    ICMP = "icmp"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclasses.dataclass
+class Packet:
+    """One IP packet in flight.
+
+    ``size`` is the full on-the-wire size including all headers; it is
+    what links, qdiscs, and the sniffer account. ``payload`` is only for
+    endpoint logic.
+    """
+
+    src: Endpoint
+    dst: Endpoint
+    protocol: Protocol
+    size: int
+    payload: typing.Any = None
+    created_at: float = 0.0
+    ttl: int = DEFAULT_TTL
+    packet_id: int = dataclasses.field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size}")
+
+    @property
+    def five_tuple(self) -> tuple:
+        """(src ip, src port, dst ip, dst port, protocol)."""
+        return (
+            self.src.ip,
+            self.src.port,
+            self.dst.ip,
+            self.dst.port,
+            self.protocol,
+        )
+
+    def reply_endpoints(self) -> tuple:
+        """Swap source and destination for a response packet."""
+        return self.dst, self.src
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(#{self.packet_id} {self.protocol} "
+            f"{self.src}->{self.dst} {self.size}B ttl={self.ttl})"
+        )
+
+
+def udp_packet_size(payload_bytes: int) -> int:
+    """Full wire size of a UDP packet carrying ``payload_bytes``."""
+    return IP_HEADER + UDP_HEADER + payload_bytes
+
+
+def tcp_packet_size(payload_bytes: int) -> int:
+    """Full wire size of a TCP segment carrying ``payload_bytes``."""
+    return IP_HEADER + TCP_HEADER + payload_bytes
+
+
+def icmp_packet_size(payload_bytes: int = 56) -> int:
+    """Full wire size of an ICMP echo packet."""
+    return IP_HEADER + ICMP_HEADER + payload_bytes

@@ -1,0 +1,99 @@
+"""RTP media streams and RTCP feedback over UDP.
+
+Mozilla Hubs delivers voice with WebRTC, i.e. RTP/RTCP (Table 2). The
+paper could not ping the Hubs data server (ICMP and TCP probes blocked)
+and instead read the round-trip time from Chrome's WebRTC debugging
+console; :class:`RtcpPeer` provides the equivalent RTT estimate via
+sender/receiver reports.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing
+
+from .address import Endpoint
+from .packet import RTP_HEADER
+from .udp import UdpSocket
+
+RTCP_REPORT_BYTES = 72
+RTCP_INTERVAL_S = 2.0
+#: Receiver-side hold time before a receiver report is returned.
+RTCP_RESPONSE_DELAY_S = 0.001
+
+
+class RtpStream:
+    """A unidirectional RTP packet stream over a shared UDP socket."""
+
+    def __init__(
+        self,
+        socket: UdpSocket,
+        dst: Endpoint,
+        payload_type: str = "opus",
+    ) -> None:
+        self.socket = socket
+        self.dst = dst
+        self.payload_type = payload_type
+        self._sequence = itertools.count(1)
+        self.sent_frames = 0
+        self.sent_bytes = 0
+
+    def send_frame(self, payload_bytes: int, meta=None) -> None:
+        """Send one media frame (RTP header added on the wire)."""
+        sequence = next(self._sequence)
+        self.sent_frames += 1
+        self.sent_bytes += payload_bytes
+        self.socket.send_to(
+            self.dst,
+            RTP_HEADER + payload_bytes,
+            ("rtp", self.payload_type, sequence, self.socket.sim.now, meta),
+        )
+
+
+class RtcpPeer:
+    """Periodic RTCP sender/receiver reports yielding an RTT estimate."""
+
+    def __init__(self, socket: UdpSocket, dst: Endpoint) -> None:
+        self.socket = socket
+        self.sim = socket.sim
+        self.dst = dst
+        self.last_rtt_s: typing.Optional[float] = None
+        self.rtt_samples: list[float] = []
+        self._running = False
+
+    def start(self) -> None:
+        self._running = True
+        self.sim.schedule(RTCP_INTERVAL_S, self._send_report)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _send_report(self) -> None:
+        if not self._running:
+            return
+        self.socket.send_to(
+            self.dst, RTCP_REPORT_BYTES, ("rtcp-sr", self.sim.now)
+        )
+        self.sim.schedule(RTCP_INTERVAL_S, self._send_report)
+
+    def handle_datagram(self, src: Endpoint, payload) -> bool:
+        """Process an incoming RTCP payload; True if it was RTCP."""
+        if not (isinstance(payload, tuple) and payload):
+            return False
+        if payload[0] == "rtcp-sr":
+            origin_time = payload[1]
+            self.sim.schedule(
+                RTCP_RESPONSE_DELAY_S,
+                self.socket.send_to,
+                src,
+                RTCP_REPORT_BYTES,
+                ("rtcp-rr", origin_time, RTCP_RESPONSE_DELAY_S),
+            )
+            return True
+        if payload[0] == "rtcp-rr":
+            origin_time, hold = payload[1], payload[2]
+            rtt = self.sim.now - origin_time - hold
+            self.last_rtt_s = rtt
+            self.rtt_samples.append(rtt)
+            return True
+        return False

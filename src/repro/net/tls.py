@@ -1,0 +1,90 @@
+"""TLS session model: handshake cost and record overhead.
+
+HTTPS is the control-channel protocol of every platform in Table 2, and
+Hubs even moves avatar state over HTTPS — which the paper identifies as
+one reason its avatar throughput is the highest of the cartoon-avatar
+platforms (protocol and encryption overhead, Sec. 5.2). We model that
+overhead explicitly: a handshake exchange before application data and a
+per-record byte tax on every message.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+from .packet import TLS_RECORD_OVERHEAD
+from .tcp import TcpConnection
+
+CLIENT_HELLO_BYTES = 321
+SERVER_HELLO_BYTES = 3210
+FINISHED_BYTES = 64
+#: Maximum plaintext per TLS record.
+RECORD_SIZE = 4096
+
+
+def record_overhead(app_bytes: int) -> int:
+    """Total TLS framing bytes added to an ``app_bytes`` message."""
+    records = max(1, math.ceil(app_bytes / RECORD_SIZE))
+    return records * TLS_RECORD_OVERHEAD
+
+
+class TlsSession:
+    """TLS 1.2-style session on top of a :class:`TcpConnection`."""
+
+    def __init__(
+        self,
+        connection: TcpConnection,
+        is_client: bool,
+        on_message: typing.Optional[typing.Callable] = None,
+        on_secure: typing.Optional[typing.Callable] = None,
+    ) -> None:
+        self.connection = connection
+        self.is_client = is_client
+        self.on_message = on_message
+        self.on_secure = on_secure
+        self.secure = False
+        connection.on_message = self._on_tcp_message
+        if is_client:
+            connection.on_established = self._on_tcp_established
+
+    # ------------------------------------------------------------------
+    # Handshake
+    # ------------------------------------------------------------------
+    def _on_tcp_established(self, _connection) -> None:
+        if self.is_client:
+            self.connection.send_message(CLIENT_HELLO_BYTES, ("tls-hs", "client-hello"))
+
+    def _on_tcp_message(self, _connection, meta, size: int, enqueued_at: float) -> None:
+        if isinstance(meta, tuple) and meta and meta[0] == "tls-hs":
+            self._advance_handshake(meta[1])
+            return
+        if isinstance(meta, tuple) and meta and meta[0] == "tls-app":
+            if self.on_message is not None:
+                self.on_message(self, meta[1], size, enqueued_at)
+
+    def _advance_handshake(self, stage: str) -> None:
+        if stage == "client-hello" and not self.is_client:
+            self.connection.send_message(SERVER_HELLO_BYTES, ("tls-hs", "server-hello"))
+        elif stage == "server-hello" and self.is_client:
+            self.connection.send_message(FINISHED_BYTES, ("tls-hs", "finished"))
+            self._become_secure()
+        elif stage == "finished" and not self.is_client:
+            self._become_secure()
+
+    def _become_secure(self) -> None:
+        if self.secure:
+            return
+        self.secure = True
+        if self.on_secure is not None:
+            self.on_secure(self)
+
+    # ------------------------------------------------------------------
+    # Application data
+    # ------------------------------------------------------------------
+    def send_application(self, app_bytes: int, meta=None):
+        """Send ``app_bytes`` of application data plus record overhead."""
+        if not self.secure:
+            raise RuntimeError("TLS session not yet established")
+        wire_bytes = app_bytes + record_overhead(app_bytes)
+        return self.connection.send_message(wire_bytes, ("tls-app", meta))

@@ -1,0 +1,130 @@
+"""UDP sockets over the simulated stack.
+
+All five platforms except Hubs carry their data channel (avatar motion,
+voice) over UDP (Table 2). Datagrams larger than the MTU are fragmented
+and reassembled at the receiving socket; losing any fragment loses the
+datagram, as with IP fragmentation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing
+
+from .address import Endpoint
+from .node import Host
+from .packet import MTU_PAYLOAD, Packet, Protocol, UDP_HEADER, udp_packet_size
+
+#: Largest UDP payload that fits one packet.
+MAX_FRAGMENT = MTU_PAYLOAD - UDP_HEADER
+#: Reassembly entries older than this are garbage collected.
+REASSEMBLY_TIMEOUT_S = 30.0
+
+
+class UdpSocket:
+    """A bound UDP socket with callback-based receive."""
+
+    def __init__(
+        self,
+        host: Host,
+        port: int,
+        on_datagram: typing.Optional[typing.Callable] = None,
+    ) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.port = port
+        self.endpoint = Endpoint(host.ip, port)
+        self.on_datagram = on_datagram
+        self._datagram_ids = itertools.count(1)
+        self._reassembly: dict[tuple, dict] = {}
+        self.sent_datagrams = 0
+        self.sent_bytes = 0
+        self.received_datagrams = 0
+        self.received_bytes = 0
+        self.closed = False
+        host.bind(Protocol.UDP, port, self._on_packet)
+
+    def close(self) -> None:
+        if not self.closed:
+            self.host.unbind(Protocol.UDP, self.port)
+            self.closed = True
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+    def send_to(self, dst: Endpoint, payload_bytes: int, payload=None) -> int:
+        """Send a datagram of ``payload_bytes`` to ``dst``.
+
+        Returns the number of wire packets emitted (>=1 when fragmented).
+        """
+        if self.closed:
+            raise RuntimeError("socket is closed")
+        if payload_bytes <= 0:
+            raise ValueError(f"payload must be positive, got {payload_bytes}")
+        self.sent_datagrams += 1
+        self.sent_bytes += payload_bytes
+        datagram_id = next(self._datagram_ids)
+        fragments = _fragment_sizes(payload_bytes)
+        total = len(fragments)
+        for index, frag_bytes in enumerate(fragments):
+            packet = Packet(
+                src=self.endpoint,
+                dst=dst,
+                protocol=Protocol.UDP,
+                size=udp_packet_size(frag_bytes),
+                payload=(
+                    "udp",
+                    (self.endpoint, datagram_id),
+                    index,
+                    total,
+                    payload_bytes,
+                    payload,
+                ),
+                created_at=self.sim.now,
+            )
+            self.host.send(packet)
+        return total
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def _on_packet(self, packet: Packet) -> None:
+        tag, key, index, total, payload_bytes, payload = packet.payload
+        if tag != "udp":
+            return
+        if total == 1:
+            self._deliver(payload_bytes, payload, packet)
+            return
+        entry = self._reassembly.get(key)
+        if entry is None:
+            entry = {"seen": set(), "first_at": self.sim.now}
+            self._reassembly[key] = entry
+        entry["seen"].add(index)
+        if len(entry["seen"]) == total:
+            del self._reassembly[key]
+            self._deliver(payload_bytes, payload, packet)
+        elif len(self._reassembly) > 256:
+            self._gc_reassembly()
+
+    def _deliver(self, payload_bytes: int, payload, packet: Packet) -> None:
+        self.received_datagrams += 1
+        self.received_bytes += payload_bytes
+        if self.on_datagram is not None:
+            self.on_datagram(packet.src, payload_bytes, payload)
+
+    def _gc_reassembly(self) -> None:
+        cutoff = self.sim.now - REASSEMBLY_TIMEOUT_S
+        stale = [k for k, v in self._reassembly.items() if v["first_at"] < cutoff]
+        for key in stale:
+            del self._reassembly[key]
+
+
+def _fragment_sizes(payload_bytes: int) -> list:
+    """Split a datagram payload into MTU-sized fragments."""
+    sizes = []
+    remaining = payload_bytes
+    while remaining > 0:
+        chunk = min(remaining, MAX_FRAGMENT)
+        sizes.append(chunk)
+        remaining -= chunk
+    return sizes

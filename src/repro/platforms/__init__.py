@@ -1,0 +1,36 @@
+"""The five social VR platform models and their shared machinery."""
+
+from .base import LightweightPeer, PlatformClient, PlatformDeployment
+from .profiles import PLATFORM_NAMES, PROFILES, all_profiles, get_profile
+from .registry import feature_row, feature_table, platform_summary
+from .spec import (
+    ControlChannelSpec,
+    DataChannelSpec,
+    FeatureSet,
+    GaussianMs,
+    HTTPS_TRANSPORT,
+    LatencyProfile,
+    PlatformProfile,
+    UDP_TRANSPORT,
+)
+
+__all__ = [
+    "LightweightPeer",
+    "PlatformClient",
+    "PlatformDeployment",
+    "PLATFORM_NAMES",
+    "PROFILES",
+    "all_profiles",
+    "get_profile",
+    "feature_row",
+    "feature_table",
+    "platform_summary",
+    "ControlChannelSpec",
+    "DataChannelSpec",
+    "FeatureSet",
+    "GaussianMs",
+    "HTTPS_TRANSPORT",
+    "LatencyProfile",
+    "PlatformProfile",
+    "UDP_TRANSPORT",
+]

@@ -1,0 +1,176 @@
+"""Mozilla Hubs platform model (public service and private server).
+
+Calibration sources (paper):
+* Table 1 — walk/fly/teleport, share screen only; no expressions,
+  personal space, games, shopping, NFT.
+* Table 2 — control: HTTPS, western-US AWS, 74.1 ms RTT; data channel
+  is *both* RTP/RTCP (voice via WebRTC SFU, 73.5 ms) and the same HTTPS
+  server (avatar state). The voice server blocks ICMP and TCP probes —
+  the paper had to read its RTT from Chrome's WebRTC stats.
+* Table 3 — 83.3/83.1 Kbps, resolution 1216x1344, avatar 77.4 Kbps:
+  verbose JSON-style updates over HTTPS — (870 B payload + 29 B TLS +
+  40 B TCP/IP) * 10 Hz = 75.1 Kbps, plus the TCP ACK stream the HTTPS
+  transport itself generates. Protocol overhead is why its simple
+  armless avatar still costs the most of the cartoon platforms.
+* Sec. 5.2 — ~20 MB downloaded at *every* join (no caching: a bug the
+  authors reported to Mozilla).
+* Table 4 — sender 42.4±6.3 ms and receiver 60.1 ms (Web overhead);
+  server 52.2±7.7 ms public, 16.2±2.4 ms on a private east-coast EC2
+  t3.medium (Hubs*, ~70% lower).
+* Figs 7/8 — worst FPS degradation (72 -> 60 at 5 users -> 33 at 15)
+  and the highest CPU (browser-based, near 100% at 15 users).
+"""
+
+from __future__ import annotations
+
+from ..avatar.embodiment import EmbodimentProfile
+from ..device.headset import Resolution
+from ..device.rendering import RenderCostProfile
+from ..device.resources import ResourceProfile
+from ..net.geo import EAST_US, EUROPE_UK, LOS_ANGELES, WEST_US
+from ..server.placement import FIXED, REGIONAL, PlacementSpec
+from .spec import (
+    ControlChannelSpec,
+    DataChannelSpec,
+    FeatureSet,
+    GaussianMs,
+    HTTPS_TRANSPORT,
+    LatencyProfile,
+    PlatformProfile,
+)
+
+PROFILE = PlatformProfile(
+    name="hubs",
+    display_name="Mozilla Hubs",
+    company="Mozilla",
+    release_year=2018,
+    web_based=True,
+    app_size_mb=0.0,  # browser-based, no installed app
+    features=FeatureSet(
+        locomotion=("walk", "fly", "teleport"),
+        facial_expression=False,
+        personal_space=False,
+        game=False,
+        share_screen=True,
+        shopping=False,
+        nft=False,
+    ),
+    embodiment=EmbodimentProfile(
+        name="hubs-basic",
+        human_like=False,
+        has_arms=False,
+        has_lower_body=False,
+        facial_expressions=False,
+        gesture_tracking=False,
+        tracked_joints=3,
+        bytes_per_joint=60,
+        header_bytes=690,  # verbose networked-entity JSON framing
+        expression_bytes=0,
+        update_rate_hz=10.0,
+    ),
+    control=ControlChannelSpec(
+        # Sec. 4.2: Hubs runs HTTPS nodes in the western US *and*
+        # Europe (<5 ms from both far vantages), but nothing on the
+        # east coast — hence the >70 ms RTT from the paper's testbed.
+        placement=PlacementSpec(
+            kind=REGIONAL,
+            provider="AWS",
+            instances_per_site=1,
+            sites=(WEST_US.name, LOS_ANGELES.name, EUROPE_UK.name),
+        ),
+        report_interval_s=None,
+        report_up_bytes=0,
+        report_down_bytes=0,
+        clock_sync=False,
+        welcome_request_interval_s=5.0,
+        welcome_request_bytes=700,
+        welcome_response_bytes=12_000,
+        welcome_download_chunk_bytes=0,
+        initial_download_mb=0.0,
+        join_download_mb=20.0,  # re-downloaded every join (caching bug)
+    ),
+    data=DataChannelSpec(
+        # Avatar state rides the same HTTPS service as control.
+        placement=PlacementSpec(
+            kind=REGIONAL,
+            provider="AWS",
+            instances_per_site=1,
+            sites=(WEST_US.name, LOS_ANGELES.name, EUROPE_UK.name),
+        ),
+        transport=HTTPS_TRANSPORT,
+        voice_placement=PlacementSpec(
+            kind=FIXED,
+            provider="AWS",
+            site=WEST_US.name,
+            instances_per_site=1,
+            icmp_blocked=True,
+            tcp_probe_blocked=True,
+        ),
+        update_rate_hz=10.0,
+        # Most of Hubs' non-avatar residue is TCP ACK + TLS framing
+        # overhead that emerges from the transport itself; explicit
+        # session chatter is small.
+        overhead_up_kbps=1.2,
+        overhead_down_kbps=1.0,
+        voice_kbps=32.0,
+        forward_fraction=1.0,
+        viewport_adaptive=False,
+        server_viewport_deg=360.0,
+        server_processing=GaussianMs(52.2, 7.7),
+        queue_ms_linear=5.0,
+        queue_ms_quad=1.0,
+        game_extra_up_kbps=0.0,  # Hubs has no games (Table 1)
+        game_extra_down_kbps=0.0,
+        tcp_priority_coupling=False,
+        room_capacity=30,
+    ),
+    latency=LatencyProfile(
+        sender=GaussianMs(42.4, 6.3),
+        receiver_base=GaussianMs(40.0, 4.5),
+    ),
+    render_cost=RenderCostProfile(base_frame_ms=11.2, per_avatar_ms=1.36),
+    resources=ResourceProfile(
+        cpu_base_pct=68.0,
+        cpu_per_avatar_pct=2.0,
+        gpu_base_pct=60.0,
+        gpu_per_avatar_pct=0.8,
+        memory_base_mb=1250.0,
+        memory_per_avatar_mb=10.0,
+        battery_pct_per_min=0.90,
+    ),
+    app_resolution=Resolution(1216, 1344),
+)
+
+
+def private_profile() -> PlatformProfile:
+    """Hubs* — the authors' own server on an east-coast EC2 t3.medium.
+
+    Sec. 7: moving the server close and unloading it cuts server
+    processing from 52.2 ms to 16.2 ms and E2E from ~239 ms to ~131 ms.
+    """
+    east_placement = PlacementSpec(
+        kind=FIXED, provider="AWS", site=EAST_US.name, instances_per_site=1
+    )
+    east_voice = PlacementSpec(
+        kind=FIXED,
+        provider="AWS",
+        site=EAST_US.name,
+        instances_per_site=1,
+        icmp_blocked=True,
+        tcp_probe_blocked=True,
+    )
+    import dataclasses
+
+    control = dataclasses.replace(PROFILE.control, placement=east_placement)
+    data = dataclasses.replace(
+        PROFILE.data,
+        placement=east_placement,
+        voice_placement=east_voice,
+        server_processing=GaussianMs(16.2, 2.4),
+    )
+    return PROFILE.replace(
+        name="hubs-private",
+        display_name="Mozilla Hubs (private server)",
+        control=control,
+        data=data,
+    )

@@ -1,0 +1,67 @@
+"""Registry of the five platform profiles and variants.
+
+This module is the single lookup point for calibrated platform
+behaviour; see each platform module's docstring for the paper
+tables/figures every constant traces back to.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from . import altspacevr, hubs, recroom, vrchat, worlds
+from .spec import PlatformProfile
+
+PROFILES: dict = {
+    "altspacevr": altspacevr.PROFILE,
+    "hubs": hubs.PROFILE,
+    "recroom": recroom.PROFILE,
+    "vrchat": vrchat.PROFILE,
+    "worlds": worlds.PROFILE,
+}
+
+#: Order used throughout the paper's tables.
+PLATFORM_NAMES = ("altspacevr", "recroom", "vrchat", "hubs", "worlds")
+
+_ALIASES = {
+    "altspace": "altspacevr",
+    "alts": "altspacevr",
+    "altsvr": "altspacevr",
+    "rec-room": "recroom",
+    "rec_room": "recroom",
+    "horizon": "worlds",
+    "horizon-worlds": "worlds",
+    "mozilla-hubs": "hubs",
+    "hubs-private": "hubs-private",
+    "hubs*": "hubs-private",
+}
+
+
+def get_profile(name: str) -> PlatformProfile:
+    """Look up a platform profile by name or common alias.
+
+    ``"hubs-private"`` (or ``"hubs*"``) returns the authors' private
+    Hubs server variant from Sec. 7; ``"workrooms"`` returns the
+    Horizon Workrooms *extension* profile (the authors' prior-work
+    platform, calibrated by analogy — see its module docstring).
+    """
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key == "hubs-private":
+        return hubs.private_profile()
+    if key == "workrooms":
+        from . import workrooms
+
+        return workrooms.PROFILE
+    try:
+        return PROFILES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; choose from {sorted(PROFILES)}, "
+            "'hubs-private', or 'workrooms'"
+        ) from None
+
+
+def all_profiles() -> typing.List[PlatformProfile]:
+    """The five public platforms in paper order."""
+    return [PROFILES[name] for name in PLATFORM_NAMES]

@@ -1,0 +1,114 @@
+"""Rec Room platform model.
+
+Calibration sources (paper):
+* Table 1 — walk/jump/teleport, expressions, personal space, games,
+  shopping, NFT; no share screen.
+* Table 2 — control: HTTPS, ANS anycast, 2.21 ms RTT; data: UDP,
+  Cloudflare anycast, 2.97 ms RTT.
+* Table 3 — 41.7/41.5 Kbps, resolution 1224x1346 (lowest), avatar
+  35.2 Kbps: (118 B + 28 B) * 30 Hz = 35.0 Kbps (armless avatar with
+  simple facial expressions).
+* Sec. 5.2 — no download at launch: the 1.41 GB app pre-bundles the
+  virtual background.
+* Table 4 — sender 25.9±8.6 ms, server 29.9±6.4 ms, receiver 39.9 ms.
+* Sec. 8.1 footnote — Laser Tag runs ~75 Kbps.
+"""
+
+from __future__ import annotations
+
+from ..avatar.embodiment import EmbodimentProfile
+from ..device.headset import Resolution
+from ..device.rendering import RenderCostProfile
+from ..device.resources import ResourceProfile
+from ..server.placement import ANYCAST, PlacementSpec
+from .spec import (
+    ControlChannelSpec,
+    DataChannelSpec,
+    FeatureSet,
+    GaussianMs,
+    LatencyProfile,
+    PlatformProfile,
+    UDP_TRANSPORT,
+)
+
+PROFILE = PlatformProfile(
+    name="recroom",
+    display_name="Rec Room",
+    company="Rec Room",
+    release_year=2016,
+    web_based=False,
+    app_size_mb=1410.0,
+    features=FeatureSet(
+        locomotion=("walk", "jump", "teleport"),
+        facial_expression=True,
+        personal_space=True,
+        game=True,
+        share_screen=False,
+        shopping=True,
+        nft=True,
+    ),
+    embodiment=EmbodimentProfile(
+        name="recroom-expressive",
+        human_like=False,
+        has_arms=False,
+        has_lower_body=False,
+        facial_expressions=True,
+        gesture_tracking=False,
+        tracked_joints=3,
+        bytes_per_joint=26,
+        header_bytes=32,
+        expression_bytes=8,
+        update_rate_hz=30.0,
+    ),
+    control=ControlChannelSpec(
+        placement=PlacementSpec(kind=ANYCAST, provider="ANS"),
+        report_interval_s=None,
+        report_up_bytes=0,
+        report_down_bytes=0,
+        clock_sync=False,
+        welcome_request_interval_s=5.0,
+        welcome_request_bytes=800,
+        welcome_response_bytes=15_000,
+        welcome_download_chunk_bytes=0,  # background bundled in the app
+        initial_download_mb=0.0,
+        join_download_mb=0.0,
+    ),
+    data=DataChannelSpec(
+        placement=PlacementSpec(
+            kind=ANYCAST, provider="Cloudflare", instances_per_site=2
+        ),
+        transport=UDP_TRANSPORT,
+        voice_placement=None,
+        update_rate_hz=30.0,
+        overhead_up_kbps=6.5,
+        overhead_down_kbps=6.3,
+        voice_kbps=32.0,
+        forward_fraction=1.0,
+        viewport_adaptive=False,
+        server_viewport_deg=360.0,
+        # True processing; the trace-derived Table 4 value adds ~5 ms of
+        # path residue, so the spec sits below the paper's measurement.
+        server_processing=GaussianMs(24.5, 6.4),
+        queue_ms_linear=4.8,
+        queue_ms_quad=0.45,
+        game_extra_up_kbps=33.0,  # Laser Tag: ~75 Kbps total
+        game_extra_down_kbps=33.0,
+        tcp_priority_coupling=False,
+        room_capacity=40,
+    ),
+    latency=LatencyProfile(
+        sender=GaussianMs(25.9, 8.6),
+        receiver_base=GaussianMs(19.0, 5.0),
+    ),
+    render_cost=RenderCostProfile(base_frame_ms=13.3, per_avatar_ms=0.75),
+    resources=ResourceProfile(
+        cpu_base_pct=45.0,
+        cpu_per_avatar_pct=1.43,
+        gpu_base_pct=50.0,
+        gpu_per_avatar_pct=1.0,
+        memory_base_mb=1400.0,
+        memory_per_avatar_mb=10.0,
+        battery_pct_per_min=0.80,
+    ),
+    app_resolution=Resolution(1224, 1346),
+)

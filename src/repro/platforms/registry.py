@@ -1,0 +1,75 @@
+"""Platform metadata registry and the Table 1 feature comparison."""
+
+from __future__ import annotations
+
+import typing
+
+from .profiles import PLATFORM_NAMES, all_profiles, get_profile
+from .spec import PlatformProfile
+
+#: Table 1 column order.
+FEATURE_COLUMNS = (
+    "Locomotion",
+    "Facial Expression",
+    "Personal Space",
+    "Game",
+    "Share Screen",
+    "Shopping",
+    "NFT",
+)
+
+
+def _check(flag: bool) -> str:
+    return "yes" if flag else "no"
+
+
+def feature_row(profile: PlatformProfile) -> dict:
+    """One platform's Table 1 row as a dict."""
+    features = profile.features
+    return {
+        "Platform": f"{profile.display_name} ('{profile.release_year % 100:02d})",
+        "Company": profile.company,
+        "Locomotion": ", ".join(
+            word.capitalize() for word in features.locomotion
+        ),
+        "Facial Expression": _check(features.facial_expression),
+        "Personal Space": _check(features.personal_space),
+        "Game": _check(features.game),
+        "Share Screen": _check(features.share_screen),
+        "Shopping": _check(features.shopping),
+        "NFT": _check(features.nft),
+    }
+
+
+def feature_table() -> typing.List[dict]:
+    """Table 1, ordered by release year as in the paper."""
+    rows = [feature_row(profile) for profile in all_profiles()]
+    rows.sort(key=lambda row: row["Platform"].rsplit("'", 1)[-1])
+    return rows
+
+
+def platform_summary(name: str) -> dict:
+    """A compact metadata summary of one platform."""
+    profile = get_profile(name)
+    return {
+        "name": profile.name,
+        "display_name": profile.display_name,
+        "company": profile.company,
+        "release_year": profile.release_year,
+        "web_based": profile.web_based,
+        "app_size_mb": profile.app_size_mb,
+        "resolution": str(profile.app_resolution),
+        "avatar_kbps_nominal": round(profile.embodiment.nominal_kbps(), 1),
+        "data_transport": profile.data.transport,
+        "viewport_adaptive": profile.data.viewport_adaptive,
+        "room_capacity": profile.data.room_capacity,
+    }
+
+
+__all__ = [
+    "FEATURE_COLUMNS",
+    "PLATFORM_NAMES",
+    "feature_row",
+    "feature_table",
+    "platform_summary",
+]

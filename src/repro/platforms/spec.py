@@ -1,0 +1,147 @@
+"""Dataclasses describing a social VR platform's behaviour.
+
+A :class:`PlatformProfile` is a complete, declarative description of one
+platform: its Table 1 features, avatar embodiment, control- and
+data-channel behaviour, latency distributions, and device cost
+coefficients. The five instances live in their own modules
+(:mod:`repro.platforms.vrchat` etc.); every constant there cites the
+paper table/figure it was calibrated against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..avatar.embodiment import EmbodimentProfile
+from ..device.headset import Resolution
+from ..device.rendering import RenderCostProfile
+from ..device.resources import ResourceProfile
+from ..server.placement import PlacementSpec
+
+UDP_TRANSPORT = "udp"
+HTTPS_TRANSPORT = "https"
+
+
+@dataclasses.dataclass(frozen=True)
+class FeatureSet:
+    """Table 1: the platform feature comparison."""
+
+    locomotion: tuple
+    facial_expression: bool
+    personal_space: bool
+    game: bool
+    share_screen: bool
+    shopping: bool
+    nft: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class GaussianMs:
+    """A latency component modelled as a clipped Gaussian (milliseconds)."""
+
+    mean: float
+    std: float
+
+    def sample_s(self, rng) -> float:
+        """Draw one sample in seconds, clipped at 10% of the mean."""
+        value = rng.gauss(self.mean, self.std)
+        return max(self.mean * 0.1, value) / 1000.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ControlChannelSpec:
+    """HTTPS control-plane behaviour (Sec. 4.1, Fig. 2)."""
+
+    placement: PlacementSpec
+    #: Periodic client report cadence; None disables the spikes.
+    report_interval_s: typing.Optional[float]
+    report_up_bytes: int
+    report_down_bytes: int
+    #: Whether periodic reports double as game clock sync (Worlds).
+    clock_sync: bool
+    #: Welcome-page menu interaction cadence and sizes.
+    welcome_request_interval_s: float
+    welcome_request_bytes: int
+    welcome_response_bytes: int
+    #: Background virtual-background download chunk fetched with each
+    #: welcome-page poll (0 = nothing to download at that stage).
+    welcome_download_chunk_bytes: int
+    #: Total initialization download (Sec. 5.2), for documentation and
+    #: the background-download analysis.
+    initial_download_mb: float
+    #: Download performed at every event join (Hubs ~20 MB — the
+    #: caching bug; Worlds ~5 MB "Preparing for Visitors").
+    join_download_mb: float
+
+
+@dataclasses.dataclass(frozen=True)
+class DataChannelSpec:
+    """Data-plane behaviour: avatars, voice, session chatter."""
+
+    placement: PlacementSpec
+    transport: str  # UDP_TRANSPORT or HTTPS_TRANSPORT
+    #: Separate voice server placement (Hubs' WebRTC SFU); None means
+    #: voice shares the avatar data server.
+    voice_placement: typing.Optional[PlacementSpec]
+    update_rate_hz: float
+    #: Non-avatar session chatter (keepalives, telemetry), wire Kbps.
+    overhead_up_kbps: float
+    overhead_down_kbps: float
+    #: Voice bitrate when unmuted, wire Kbps.
+    voice_kbps: float
+    #: Fraction of uploaded avatar bytes the server forwards on
+    #: (Worlds < 1: its downlink is visibly below its uplink, Sec. 5.1).
+    forward_fraction: float
+    viewport_adaptive: bool
+    server_viewport_deg: float
+    server_processing: GaussianMs
+    #: Queuing growth of server processing with room size (Fig. 11):
+    #: extra_ms = linear*(n-2) + quad*(n-2)^2.
+    queue_ms_linear: float
+    queue_ms_quad: float
+    #: Extra traffic while playing an in-platform game (Sec. 8.1).
+    game_extra_up_kbps: float
+    game_extra_down_kbps: float
+    #: Worlds: UDP sends are gated on TCP (control) delivery.
+    tcp_priority_coupling: bool
+    room_capacity: typing.Optional[int]
+    #: Viewport-adaptive servers can aim the cone ahead of measured
+    #: head rotation instead of (or on top of) widening it; 0 = off
+    #: (AltspaceVR's observed behaviour relies on width alone).
+    viewport_prediction_horizon_s: float = 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyProfile:
+    """Client-side processing latency components (Table 4)."""
+
+    sender: GaussianMs
+    receiver_base: GaussianMs
+
+
+@dataclasses.dataclass(frozen=True)
+class PlatformProfile:
+    """Everything the simulator needs to stand up one platform."""
+
+    name: str
+    display_name: str
+    company: str
+    release_year: int
+    web_based: bool
+    app_size_mb: float
+    features: FeatureSet
+    embodiment: EmbodimentProfile
+    control: ControlChannelSpec
+    data: DataChannelSpec
+    latency: LatencyProfile
+    render_cost: RenderCostProfile
+    resources: ResourceProfile
+    app_resolution: Resolution
+    #: Worlds was US/Canada-only at measurement time (Sec. 4.2), which
+    #: is why the paper's European probing excludes it.
+    available_in_europe: bool = True
+
+    def replace(self, **changes) -> "PlatformProfile":
+        """A copy with top-level fields replaced (for variants)."""
+        return dataclasses.replace(self, **changes)

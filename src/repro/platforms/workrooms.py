@@ -1,0 +1,128 @@
+"""Horizon Workrooms — EXTENSION profile (not part of the paper's five).
+
+The authors' prior study ("Reality Check of Metaverse", IEEE VR 2022
+Metabuild workshop, cited as [14]) measured Horizon Workrooms, Meta's
+social VR *meeting* platform, and found the same throughput scalability
+issue this paper generalizes. The paper references that result in
+Sec. 6.3 ("our prior work has identified the throughput scalability
+issue of Horizon Workrooms").
+
+This profile is calibrated **by analogy with Horizon Worlds** (same
+company, same avatar technology, same Meta infrastructure), adjusted
+for the meeting workload: seated users, lower update rate, screen
+sharing enabled. It exists to demonstrate extensibility and to let the
+scalability harness confirm the prior-work finding; its absolute
+numbers are assumptions, not measurements.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..avatar.embodiment import EmbodimentProfile
+from ..device.headset import Resolution
+from ..device.rendering import RenderCostProfile
+from ..device.resources import ResourceProfile
+from ..net.geo import EAST_US, LOS_ANGELES, NORTH_US, WEST_US
+from ..server.placement import REGIONAL, PlacementSpec
+from .spec import (
+    ControlChannelSpec,
+    DataChannelSpec,
+    FeatureSet,
+    GaussianMs,
+    LatencyProfile,
+    PlatformProfile,
+    UDP_TRANSPORT,
+)
+
+_META_SITES = (EAST_US.name, WEST_US.name, LOS_ANGELES.name, NORTH_US.name)
+
+PROFILE = PlatformProfile(
+    name="workrooms",
+    display_name="Horizon Workrooms (extension)",
+    company="Meta",
+    release_year=2021,
+    web_based=False,
+    app_size_mb=980.0,
+    features=FeatureSet(
+        locomotion=("teleport",),  # seated meetings: desk anchoring
+        facial_expression=True,
+        personal_space=True,
+        game=False,
+        share_screen=True,  # the whole point of a meeting platform
+        shopping=False,
+        nft=False,
+    ),
+    embodiment=EmbodimentProfile(
+        name="workrooms-humanlike",
+        human_like=True,
+        has_arms=True,
+        has_lower_body=False,
+        facial_expressions=True,
+        gesture_tracking=True,
+        tracked_joints=26,
+        bytes_per_joint=72,
+        header_bytes=592,
+        expression_bytes=8,
+        update_rate_hz=20.0,  # seated users move less than Worlds players
+    ),
+    control=ControlChannelSpec(
+        placement=PlacementSpec(
+            kind=REGIONAL,
+            provider="Meta",
+            instances_per_site=2,
+            sites=_META_SITES,
+        ),
+        report_interval_s=10.0,
+        report_up_bytes=37_500,
+        report_down_bytes=48,
+        clock_sync=False,
+        welcome_request_interval_s=6.0,
+        welcome_request_bytes=1_000,
+        welcome_response_bytes=20_000,
+        welcome_download_chunk_bytes=0,
+        initial_download_mb=0.0,
+        join_download_mb=4.0,
+    ),
+    data=DataChannelSpec(
+        placement=PlacementSpec(
+            kind=REGIONAL,
+            provider="Meta",
+            instances_per_site=2,
+            sites=_META_SITES,
+        ),
+        transport=UDP_TRANSPORT,
+        voice_placement=None,
+        update_rate_hz=20.0,
+        overhead_up_kbps=100.0,
+        overhead_down_kbps=60.0,
+        voice_kbps=32.0,
+        forward_fraction=0.548,
+        viewport_adaptive=False,
+        server_viewport_deg=360.0,
+        server_processing=GaussianMs(36.0, 11.0),
+        queue_ms_linear=6.0,
+        queue_ms_quad=0.9,
+        game_extra_up_kbps=0.0,
+        game_extra_down_kbps=0.0,
+        tcp_priority_coupling=True,
+        room_capacity=16,  # Workrooms caps meetings at 16 headsets
+    ),
+    latency=LatencyProfile(
+        sender=GaussianMs(26.2, 4.5),
+        receiver_base=GaussianMs(29.0, 7.0),
+    ),
+    render_cost=RenderCostProfile(base_frame_ms=13.0, per_avatar_ms=0.40),
+    resources=ResourceProfile(
+        cpu_base_pct=52.0,
+        cpu_per_avatar_pct=1.4,
+        gpu_base_pct=66.0,
+        gpu_per_avatar_pct=0.9,
+        memory_base_mb=1700.0,
+        memory_per_avatar_mb=10.0,
+        battery_pct_per_min=0.85,
+        recovery_cpu_pct=40.0,
+    ),
+    app_resolution=Resolution(1440, 1584),
+    available_in_europe=False,
+)

@@ -1,0 +1,151 @@
+"""Horizon Worlds platform model.
+
+Calibration sources (paper):
+* Table 1 — walk/teleport, expressions, personal space, games.
+* Table 2 — control: HTTPS, eastern-US Meta, 2.23 ms RTT, hostname
+  ``edge-star-shv-01-iad3.facebook.com``; data: UDP, eastern-US Meta,
+  2.71 ms RTT, hostname ``oculus-verts-shv-01-iad3.facebook.com``.
+  Sec. 4.1 — ~300 Kbps uplink HTTPS spikes every ~10 s with no downlink
+  spike; Sec. 8.1 shows one role is game clock synchronization.
+* Table 3 — 752/413 Kbps up/down (10x the others), resolution
+  1440x1584, avatar 332 Kbps downlink. Uplink avatar wire =
+  (2472 B + 28 B) * 30 Hz = 600 Kbps (human-like avatar, 26-joint rig
+  with gesture-driven facial expressions); the server forwards only a
+  0.548 fraction, so forwarded wire = 1383 B -> 332 Kbps per peer —
+  the down<up asymmetry the paper attributes to server-side
+  processing/retention of part of the upload.
+* Table 4 — sender 26.2±4.5 ms, server 40.2±11 ms, receiver 49.1 ms
+  (the most realistic avatar costs the most render time).
+* Fig 7 — best FPS scaling (72 -> ~54 at 15 users) despite the richest
+  avatar; Sec. 6.2 — events capped at 16 users.
+* Sec. 8.1 — Arena Clash runs ~1.2/0.7 Mbps up/down; TCP uplink has
+  priority over UDP uplink (UDP blocked until TCP delivery; 100% TCP
+  loss kills the UDP session permanently after ~30 s).
+"""
+
+from __future__ import annotations
+
+from ..avatar.embodiment import EmbodimentProfile
+from ..device.headset import Resolution
+from ..device.rendering import RenderCostProfile
+from ..device.resources import ResourceProfile
+from ..net.geo import EAST_US, LOS_ANGELES, NORTH_US, WEST_US
+from ..server.placement import REGIONAL, PlacementSpec
+from .spec import (
+    ControlChannelSpec,
+    DataChannelSpec,
+    FeatureSet,
+    GaussianMs,
+    LatencyProfile,
+    PlatformProfile,
+    UDP_TRANSPORT,
+)
+
+CONTROL_HOSTNAME = "edge-star-shv-01-iad3.facebook.com"
+DATA_HOSTNAME = "oculus-verts-shv-01-iad3.facebook.com"
+
+PROFILE = PlatformProfile(
+    name="worlds",
+    display_name="Horizon Worlds",
+    company="Meta",
+    release_year=2021,
+    web_based=False,
+    app_size_mb=1130.0,
+    features=FeatureSet(
+        locomotion=("walk", "teleport"),
+        facial_expression=True,
+        personal_space=True,
+        game=True,
+        share_screen=False,
+        shopping=False,
+        nft=False,
+    ),
+    embodiment=EmbodimentProfile(
+        name="worlds-humanlike",
+        human_like=True,
+        has_arms=True,
+        has_lower_body=False,
+        facial_expressions=True,
+        gesture_tracking=True,
+        tracked_joints=26,
+        bytes_per_joint=72,
+        header_bytes=592,
+        expression_bytes=8,
+        update_rate_hz=30.0,
+    ),
+    control=ControlChannelSpec(
+        # Meta fronts Worlds from its own PoPs across the US (nearby
+        # servers from both coasts, Sec. 4.2), but not in Europe.
+        placement=PlacementSpec(
+            kind=REGIONAL,
+            provider="Meta",
+            instances_per_site=2,
+            hostname=CONTROL_HOSTNAME,
+            sites=(
+                EAST_US.name,
+                WEST_US.name,
+                LOS_ANGELES.name,
+                NORTH_US.name,
+            ),
+        ),
+        report_interval_s=10.0,
+        report_up_bytes=37_500,  # ~300 Kbps spike in a 1 s bin
+        report_down_bytes=48,  # no downlink spike (Sec. 4.1)
+        clock_sync=True,
+        welcome_request_interval_s=6.0,
+        welcome_request_bytes=1_000,
+        welcome_response_bytes=20_000,
+        welcome_download_chunk_bytes=0,
+        initial_download_mb=0.0,
+        join_download_mb=5.0,  # "Preparing for Visitors" phase
+    ),
+    data=DataChannelSpec(
+        placement=PlacementSpec(
+            kind=REGIONAL,
+            provider="Meta",
+            instances_per_site=2,
+            hostname=DATA_HOSTNAME,
+            sites=(
+                EAST_US.name,
+                WEST_US.name,
+                LOS_ANGELES.name,
+                NORTH_US.name,
+            ),
+        ),
+        transport=UDP_TRANSPORT,
+        voice_placement=None,
+        update_rate_hz=30.0,
+        overhead_up_kbps=147.0,  # client status/tracking telemetry
+        overhead_down_kbps=81.0,
+        voice_kbps=32.0,
+        forward_fraction=0.548,
+        viewport_adaptive=False,
+        server_viewport_deg=360.0,
+        # True processing; the trace-derived Table 4 value adds ~5 ms of
+        # path residue, so the spec sits below the paper's measurement.
+        server_processing=GaussianMs(36.0, 11.0),
+        queue_ms_linear=6.0,
+        queue_ms_quad=0.9,
+        game_extra_up_kbps=450.0,  # Arena Clash: up to ~1.2 Mbps uplink
+        game_extra_down_kbps=247.0,  # derived: 450 * forward_fraction
+        tcp_priority_coupling=True,
+        room_capacity=16,  # observed cap in public events (Sec. 6.2)
+    ),
+    latency=LatencyProfile(
+        sender=GaussianMs(26.2, 4.5),
+        receiver_base=GaussianMs(29.0, 7.0),
+    ),
+    render_cost=RenderCostProfile(base_frame_ms=13.0, per_avatar_ms=0.40),
+    resources=ResourceProfile(
+        cpu_base_pct=55.0,
+        cpu_per_avatar_pct=1.43,
+        gpu_base_pct=70.0,
+        gpu_per_avatar_pct=0.9,
+        memory_base_mb=1860.0,
+        memory_per_avatar_mb=10.0,
+        battery_pct_per_min=0.90,  # heaviest drain, still <10%/10 min
+        recovery_cpu_pct=40.0,  # Fig. 12(b): CPU can hit 100% recovering
+    ),
+    app_resolution=Resolution(1440, 1584),
+    available_in_europe=False,  # US/Canada only at measurement time
+)

@@ -1,0 +1,54 @@
+"""Platform server substrates: placement, control, data, voice, RR."""
+
+from .control import ControlService
+from .forwarding import DATA_PORT, AvatarDataServer
+from .interest import InterestScopedServer
+from .p2p import P2P_PORT_BASE, P2pMesh, P2pPeer
+from .placement import (
+    ANYCAST,
+    FIXED,
+    REGIONAL,
+    PlacementDeployment,
+    PlacementSpec,
+    deploy_placement,
+)
+from .remote_rendering import (
+    CLOUD_GAMING_QUALITY,
+    HD_QUALITY,
+    RemoteRenderingServer,
+    VideoQuality,
+    crossover_users,
+    forwarding_downlink_mbps,
+)
+from .rooms import MemberBinding, Room, RoomFullError, RoomRegistry
+from .viewport_adaptive import ViewportAdaptiveServer
+from .voice import SFU_PORT, VoiceSfu
+
+__all__ = [
+    "ControlService",
+    "DATA_PORT",
+    "AvatarDataServer",
+    "InterestScopedServer",
+    "P2P_PORT_BASE",
+    "P2pMesh",
+    "P2pPeer",
+    "ANYCAST",
+    "FIXED",
+    "REGIONAL",
+    "PlacementDeployment",
+    "PlacementSpec",
+    "deploy_placement",
+    "CLOUD_GAMING_QUALITY",
+    "HD_QUALITY",
+    "RemoteRenderingServer",
+    "VideoQuality",
+    "crossover_users",
+    "forwarding_downlink_mbps",
+    "MemberBinding",
+    "Room",
+    "RoomFullError",
+    "RoomRegistry",
+    "ViewportAdaptiveServer",
+    "SFU_PORT",
+    "VoiceSfu",
+]

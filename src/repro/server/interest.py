@@ -1,0 +1,81 @@
+"""Interest-scoped forwarding: Donnybrook-style update-rate reduction.
+
+Implications 3 (Sec. 6.2) points at one further optimization beyond
+viewport filtering: *"reduce the frequency of updating data for
+avatars that the user is not interacting with"* (the Donnybrook
+interest-set idea the paper cites). This server variant forwards at
+full rate only for each recipient's ``interest_set_size`` nearest
+avatars and decimates everyone else by ``background_divisor``.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..avatar.codec import AvatarUpdate
+from .forwarding import AvatarDataServer
+from .rooms import MemberBinding, Room
+
+
+class InterestScopedServer(AvatarDataServer):
+    """Forwards nearby avatars at full rate, distant ones decimated."""
+
+    def __init__(
+        self,
+        *args,
+        interest_set_size: int = 3,
+        background_divisor: int = 5,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if interest_set_size < 0:
+            raise ValueError("interest_set_size must be >= 0")
+        if background_divisor < 1:
+            raise ValueError("background_divisor must be >= 1")
+        self.interest_set_size = interest_set_size
+        self.background_divisor = background_divisor
+        self.decimated_updates = 0
+
+    def should_forward(
+        self,
+        room: Room,
+        sender: typing.Optional[MemberBinding],
+        recipient: MemberBinding,
+        update: typing.Optional[AvatarUpdate],
+    ) -> bool:
+        if sender is None or update is None:
+            return True
+        if self._in_interest_set(room, sender, recipient):
+            return True
+        # Background avatars: keep every Nth update (sequence-based so
+        # the decimation is deterministic and per-sender).
+        if update.sequence % self.background_divisor == 0:
+            return True
+        self.decimated_updates += 1
+        return False
+
+    def _in_interest_set(
+        self, room: Room, sender: MemberBinding, recipient: MemberBinding
+    ) -> bool:
+        if recipient.pose is None or sender.pose is None:
+            return True  # fail open without position knowledge
+        distances = []
+        for member in room.others(recipient.user_id):
+            if member.pose is None:
+                continue
+            distances.append(
+                (
+                    recipient.pose.position.distance_to(member.pose.position),
+                    member.user_id,
+                )
+            )
+        distances.sort()
+        nearest = {user_id for _, user_id in distances[: self.interest_set_size]}
+        return sender.user_id in nearest
+
+    def decimation_fraction(self) -> float:
+        """Fraction of would-be forwards dropped by interest scoping."""
+        total = self.forwarded_updates + self.decimated_updates
+        if total == 0:
+            return 0.0
+        return self.decimated_updates / total

@@ -1,0 +1,104 @@
+"""Peer-to-peer avatar exchange: the paper's other scalability idea.
+
+Implications 3 (Sec. 6.2) suggests P2P as a potential direction: user
+devices exchange avatar data directly and aggregate received content
+locally, relieving the server. The paper also predicts its limit —
+*"even with P2P, the scalability issues of throughput and on-device
+computation will remain"* — because every client must now upload one
+copy of its avatar stream per peer.
+
+:class:`P2pMesh` implements the full mesh so the ablation benchmark can
+quantify both effects: server forwarding bytes drop to zero, while the
+per-client uplink now grows linearly with the room size.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..avatar.codec import AvatarCodec
+from ..net.address import Endpoint
+from ..net.node import Host
+from ..net.udp import UdpSocket
+from ..simcore import Timeout
+
+P2P_PORT_BASE = 23_000
+
+
+class P2pPeer:
+    """One member of a P2P mesh exchanging avatar updates directly."""
+
+    def __init__(
+        self,
+        sim,
+        host: Host,
+        user_id: str,
+        embodiment,
+        update_rate_hz: float,
+        port: int,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.user_id = user_id
+        self.update_rate_hz = update_rate_hz
+        self.codec = AvatarCodec(embodiment)
+        self.socket = UdpSocket(host, port, on_datagram=self._on_datagram)
+        self.endpoint = Endpoint(host.ip, port)
+        self.peers: typing.List[Endpoint] = []
+        self.received_updates = 0
+        self.received_bytes = 0
+        self._process = None
+
+    def connect(self, peers: typing.Sequence[Endpoint]) -> None:
+        """Learn the other members' endpoints (signalling assumed done)."""
+        self.peers = [peer for peer in peers if peer != self.endpoint]
+
+    def start(self) -> None:
+        from ..avatar.pose import Pose
+
+        self.pose = Pose()
+        self._process = self.sim.spawn(self._update_loop(), name=f"p2p-{self.user_id}")
+
+    def stop(self) -> None:
+        if self._process is not None and self._process.alive:
+            self._process.kill()
+        self.socket.close()
+
+    def _update_loop(self):
+        interval = 1.0 / self.update_rate_hz
+        while True:
+            yield Timeout(interval)
+            payload_bytes, update = self.codec.encode(
+                self.user_id, self.pose, self.sim.now
+            )
+            # One unicast copy per peer: the P2P uplink cost.
+            for peer in self.peers:
+                self.socket.send_to(peer, payload_bytes, ("p2p-avatar", update))
+
+    def _on_datagram(self, src: Endpoint, payload_bytes: int, payload) -> None:
+        if isinstance(payload, tuple) and payload and payload[0] == "p2p-avatar":
+            self.received_updates += 1
+            self.received_bytes += payload_bytes
+
+
+class P2pMesh:
+    """A full mesh of :class:`P2pPeer` members."""
+
+    def __init__(self, sim, members: typing.Sequence[P2pPeer]) -> None:
+        self.sim = sim
+        self.members = list(members)
+        endpoints = [member.endpoint for member in self.members]
+        for member in self.members:
+            member.connect(endpoints)
+
+    def start(self) -> None:
+        for member in self.members:
+            member.start()
+
+    def stop(self) -> None:
+        for member in self.members:
+            member.stop()
+
+    @property
+    def size(self) -> int:
+        return len(self.members)

@@ -1,0 +1,147 @@
+"""Server placement policies: anycast, fixed-region, regional.
+
+Table 2's infrastructure findings come from *where* each platform puts
+its servers: AltspaceVR and Rec Room front their control planes with
+anycast; Hubs and AltspaceVR pin data servers to the U.S. west coast
+(>70 ms from the east-coast testbed); Worlds and VRChat place regional
+servers near users. ``instances_per_site > 1`` models the load
+balancing that assigns two co-located users to different servers —
+which the paper observed on every platform except AltspaceVR and the
+Hubs RTP server.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..net.address import AnycastGroup
+from ..net.node import Host
+from ..net.topology import Network
+
+ANYCAST = "anycast"
+FIXED = "fixed"
+REGIONAL = "regional"
+
+#: One-way delay of a server's intra-datacenter access link.
+SERVER_ACCESS_DELAY_S = 0.0003
+
+
+@dataclasses.dataclass(frozen=True)
+class PlacementSpec:
+    """Where and how a channel's servers are deployed."""
+
+    kind: str  # ANYCAST, FIXED, or REGIONAL
+    provider: str  # WHOIS owner (e.g. "Microsoft", "AWS", "Cloudflare")
+    site: typing.Optional[str] = None  # required for FIXED
+    instances_per_site: int = 1
+    hostname: typing.Optional[str] = None
+    icmp_blocked: bool = False
+    tcp_probe_blocked: bool = False
+    #: REGIONAL/ANYCAST deployments may cover only some sites (Hubs runs
+    #: HTTPS nodes in the western US and Europe only, Sec. 4.2); None
+    #: means every backbone site.
+    sites: typing.Optional[tuple] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (ANYCAST, FIXED, REGIONAL):
+            raise ValueError(f"unknown placement kind {self.kind!r}")
+        if self.kind == FIXED and self.site is None:
+            raise ValueError("FIXED placement requires a site")
+        if self.instances_per_site < 1:
+            raise ValueError("instances_per_site must be >= 1")
+        if self.sites is not None and not self.sites:
+            raise ValueError("sites, when given, must not be empty")
+
+
+class PlacementDeployment:
+    """Instantiated hosts for one placement spec."""
+
+    def __init__(
+        self,
+        spec: PlacementSpec,
+        hosts_by_site: dict,
+        anycast_groups: typing.Optional[list] = None,
+    ) -> None:
+        self.spec = spec
+        self.hosts_by_site = hosts_by_site  # site name -> [Host, ...]
+        self.anycast_groups = anycast_groups or []
+        self.network: typing.Optional[Network] = None
+
+    @property
+    def all_hosts(self) -> list:
+        return [host for hosts in self.hosts_by_site.values() for host in hosts]
+
+    def host_for(self, client_host: Host, user_index: int = 0) -> Host:
+        """The physical server instance serving this client."""
+        if self.spec.kind == ANYCAST:
+            group = self.anycast_groups[user_index % len(self.anycast_groups)]
+            return self.network.anycast_member_for(client_host, group)
+        if self.spec.kind == FIXED:
+            hosts = self.hosts_by_site[self.spec.site]
+            return hosts[user_index % len(hosts)]
+        # REGIONAL: the site nearest the client.
+        site = min(
+            self.hosts_by_site,
+            key=lambda s: client_host.location.distance_km(
+                self.hosts_by_site[s][0].location
+            ),
+        )
+        hosts = self.hosts_by_site[site]
+        return hosts[user_index % len(hosts)]
+
+    def advertised_ip(self, client_host: Host, user_index: int = 0):
+        """The address the client connects to (anycast IP or host IP)."""
+        if self.spec.kind == ANYCAST:
+            group = self.anycast_groups[user_index % len(self.anycast_groups)]
+            return group.ip
+        return self.host_for(client_host, user_index).ip
+
+
+def deploy_placement(
+    network: Network,
+    spec: PlacementSpec,
+    name_prefix: str,
+    site_routers: dict,
+) -> PlacementDeployment:
+    """Create server hosts for ``spec`` attached to per-site routers.
+
+    ``site_routers`` maps site name -> core router at that site. ANYCAST
+    and REGIONAL place instances at every site; FIXED at ``spec.site``.
+    """
+    if spec.kind == FIXED:
+        sites = [spec.site]
+    elif spec.sites is not None:
+        unknown = [site for site in spec.sites if site not in site_routers]
+        if unknown:
+            raise ValueError(f"placement references unknown sites: {unknown}")
+        sites = sorted(spec.sites)
+    else:
+        sites = sorted(site_routers)
+    hosts_by_site: dict = {}
+    for site in sites:
+        router = site_routers[site]
+        hosts = []
+        for index in range(spec.instances_per_site):
+            host = network.add_host(
+                f"{name_prefix}-{site}-{index}",
+                router.location,
+                provider=spec.provider,
+                icmp_blocked=spec.icmp_blocked,
+                tcp_probe_blocked=spec.tcp_probe_blocked,
+            )
+            network.connect(host, router, delay_s=SERVER_ACCESS_DELAY_S)
+            hosts.append(host)
+        hosts_by_site[site] = hosts
+
+    anycast_groups = []
+    if spec.kind == ANYCAST:
+        for index in range(spec.instances_per_site):
+            group = network.anycast_group(f"{name_prefix}-any-{index}", spec.provider)
+            for site in sites:
+                network.join_anycast(group, hosts_by_site[site][index])
+            anycast_groups.append(group)
+
+    deployment = PlacementDeployment(spec, hosts_by_site, anycast_groups)
+    deployment.network = network
+    return deployment

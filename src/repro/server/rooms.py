@@ -1,0 +1,87 @@
+"""Rooms (social events) and member bindings shared by server instances.
+
+A room is one social event — a private meeting or a public event. The
+paper observes that most platforms assign the two co-located test users
+to *different* physical servers (Sec. 4.2); the room registry therefore
+lives above individual server instances, and forwarding crosses
+instances when members are bound to different ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..avatar.pose import Pose
+
+
+@dataclasses.dataclass
+class MemberBinding:
+    """One user's presence in a room, as the server sees it."""
+
+    user_id: str
+    endpoint: object  # transport endpoint the server sends to
+    server: object  # the server instance this member is connected to
+    observed: bool = True  # False -> lightweight peer, traffic only counted
+    muted: bool = True
+    #: Last pose reported by this member (for viewport-adaptive servers).
+    pose: typing.Optional[Pose] = None
+    pose_updated_at: float = 0.0
+    joined_at: float = 0.0
+    forwarded_bytes: int = 0  # bytes forwarded *to* this member
+    suppressed_bytes: int = 0  # bytes withheld by viewport filtering
+
+
+class Room:
+    """A social event holding member bindings."""
+
+    def __init__(self, room_id: str, capacity: typing.Optional[int] = None) -> None:
+        self.room_id = room_id
+        self.capacity = capacity
+        self.members: dict[str, MemberBinding] = {}
+
+    def join(self, binding: MemberBinding) -> MemberBinding:
+        if self.capacity is not None and len(self.members) >= self.capacity:
+            raise RoomFullError(
+                f"room {self.room_id!r} is at capacity {self.capacity}"
+            )
+        if binding.user_id in self.members:
+            raise ValueError(f"{binding.user_id!r} already in room {self.room_id!r}")
+        self.members[binding.user_id] = binding
+        return binding
+
+    def leave(self, user_id: str) -> None:
+        self.members.pop(user_id, None)
+
+    def others(self, user_id: str) -> typing.List[MemberBinding]:
+        return [m for uid, m in self.members.items() if uid != user_id]
+
+    def member(self, user_id: str) -> MemberBinding:
+        return self.members[user_id]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+class RoomFullError(RuntimeError):
+    """Raised when joining a room at its concurrent-user cap.
+
+    The paper notes every platform caps event size (Sec. 6.2) — Worlds
+    at 16 users in practice.
+    """
+
+
+class RoomRegistry:
+    """All rooms of one platform deployment."""
+
+    def __init__(self, default_capacity: typing.Optional[int] = None) -> None:
+        self.default_capacity = default_capacity
+        self.rooms: dict[str, Room] = {}
+
+    def room(self, room_id: str) -> Room:
+        existing = self.rooms.get(room_id)
+        if existing is not None:
+            return existing
+        room = Room(room_id, capacity=self.default_capacity)
+        self.rooms[room_id] = room
+        return room

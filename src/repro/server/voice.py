@@ -1,0 +1,82 @@
+"""Voice SFU: a selective forwarding unit for WebRTC audio.
+
+Hubs routes voice through a central WebRTC server (Sec. 4.1, its
+official docs call it "a central routing machine"); the paper measured
+its RTT through RTCP because both ICMP and TCP pings were blocked.
+The SFU answers RTCP sender reports and forwards RTP media frames to
+the other members of the sender's room.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..net.address import Endpoint
+from ..net.node import Host
+from ..net.packet import RTP_HEADER
+from ..net.rtp import RTCP_REPORT_BYTES, RTCP_RESPONSE_DELAY_S
+from ..net.udp import UdpSocket
+from .rooms import RoomRegistry
+
+#: SFU media port — inside the conventional RTP range so the capture
+#: classifier labels these flows "RTP/RTCP".
+SFU_PORT = 5004
+
+
+class VoiceSfu:
+    """A WebRTC SFU instance forwarding RTP among room members."""
+
+    def __init__(self, sim, host: Host, rooms: RoomRegistry, port: int = SFU_PORT) -> None:
+        self.sim = sim
+        self.host = host
+        self.rooms = rooms
+        self.port = port
+        self.socket = UdpSocket(host, port, on_datagram=self._on_datagram)
+        self.endpoint = Endpoint(host.ip, port)
+        #: user_id -> media endpoint
+        self.bindings: dict[str, Endpoint] = {}
+        self._rooms_of: dict[str, str] = {}
+        self.forwarded_frames = 0
+
+    def _on_datagram(self, src: Endpoint, payload_bytes: int, payload) -> None:
+        if not (isinstance(payload, tuple) and payload):
+            return
+        kind = payload[0]
+        if kind == "rtcp-sr":
+            origin_time = payload[1]
+            self.sim.schedule(
+                RTCP_RESPONSE_DELAY_S,
+                self.socket.send_to,
+                src,
+                RTCP_REPORT_BYTES,
+                ("rtcp-rr", origin_time, RTCP_RESPONSE_DELAY_S),
+            )
+            return
+        if kind == "voice-join":
+            _, room_id, user_id = payload
+            self.bindings[user_id] = src
+            self._rooms_of[user_id] = room_id
+            return
+        if kind == "rtp":
+            self._forward_media(src, payload_bytes, payload)
+
+    def _forward_media(self, src: Endpoint, payload_bytes: int, payload) -> None:
+        meta = payload[4]
+        if not (isinstance(meta, tuple) and len(meta) == 2):
+            return
+        room_id, user_id = meta
+        room = self.rooms.room(room_id)
+        for member in room.others(user_id):
+            if not member.observed:
+                continue
+            target = self.bindings.get(member.user_id)
+            if target is None:
+                continue
+            self.forwarded_frames += 1
+            # Re-emit the RTP frame toward the member (media payload
+            # size excludes the RTP header already counted in transport).
+            self.socket.send_to(
+                target,
+                payload_bytes,
+                ("rtp", payload[1], payload[2], payload[3], meta),
+            )

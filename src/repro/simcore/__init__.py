@@ -1,0 +1,19 @@
+"""Discrete-event simulation kernel used by every substrate."""
+
+from .events import ScheduledEvent, Signal
+from .kernel import SimulationError, Simulator
+from .process import Process, ProcessKilled, Timeout, Wait
+from .rng import RandomStreams, derive_seed
+
+__all__ = [
+    "ScheduledEvent",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "Process",
+    "ProcessKilled",
+    "Timeout",
+    "Wait",
+    "RandomStreams",
+    "derive_seed",
+]

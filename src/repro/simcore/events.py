@@ -1,0 +1,72 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel keeps a binary heap of :class:`ScheduledEvent` records. Events
+compare by ``(time, priority, sequence)`` so that simultaneous events fire
+in a deterministic order (FIFO among equal priorities).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(order=True)
+class ScheduledEvent:
+    """A callback scheduled at an absolute simulation time."""
+
+    time: float
+    priority: int
+    sequence: int
+    callback: typing.Callable[..., None] = dataclasses.field(compare=False)
+    args: tuple = dataclasses.field(compare=False, default=())
+    cancelled: bool = dataclasses.field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when popped."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled
+
+
+class Signal:
+    """A one-to-many notification channel processes can wait on.
+
+    A signal may fire many times; each :meth:`fire` wakes every waiter
+    registered at that moment and passes them the fired value.
+    """
+
+    __slots__ = ("name", "_waiters", "fire_count", "last_value")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: list = []
+        self.fire_count = 0
+        self.last_value = None
+
+    def add_waiter(self, waiter) -> None:
+        self._waiters.append(waiter)
+
+    def remove_waiter(self, waiter) -> None:
+        try:
+            self._waiters.remove(waiter)
+        except ValueError:
+            pass
+
+    def fire(self, value=None) -> int:
+        """Wake all current waiters with ``value``; return how many woke."""
+        self.fire_count += 1
+        self.last_value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(value)
+        return len(waiters)
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Signal({self.name!r}, waiters={len(self._waiters)})"

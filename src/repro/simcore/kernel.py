@@ -1,0 +1,133 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the virtual clock, the event heap, and the random
+streams. All substrates (network stack, devices, platform clients) hang
+off one ``Simulator`` instance, so a whole testbed is reproducible from a
+single seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from .events import ScheduledEvent, Signal
+from .process import Process
+from .rng import RandomStreams
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for every named random stream (see :class:`RandomStreams`).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._heap: list[ScheduledEvent] = []
+        self._sequence = 0
+        self.streams = RandomStreams(seed)
+        self.processes: list[Process] = []
+        self.event_count = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def rng(self, name: str):
+        """Return the named deterministic random stream."""
+        return self.streams.stream(name)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: typing.Callable[..., None],
+        *args,
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: typing.Callable[..., None],
+        *args,
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        self._sequence += 1
+        event = ScheduledEvent(time, priority, self._sequence, callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def spawn(self, generator: typing.Generator, name: str = "") -> Process:
+        """Start a generator as a simulation process."""
+        process = Process(self, generator, name=name)
+        self.processes.append(process)
+        return process.start()
+
+    def signal(self, name: str = "") -> Signal:
+        """Create a named :class:`Signal` bound to no particular component."""
+        return Signal(name)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next scheduled event; return False when none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.event_count += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: typing.Optional[float] = None) -> float:
+        """Run events until the heap drains or the clock passes ``until``.
+
+        Returns the simulation time when execution stopped. When ``until``
+        is given the clock is advanced to exactly ``until`` even if the
+        last event fired earlier, matching wall-clock experiment windows.
+        """
+        if until is None:
+            while self.step():
+                pass
+            return self._now
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > until:
+                break
+            self.step()
+        self._now = max(self._now, until)
+        return self._now
+
+    def pending_events(self) -> int:
+        """Number of scheduled (non-cancelled) events still in the heap."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self._now:.6f}, pending={len(self._heap)})"

@@ -1,0 +1,148 @@
+"""Generator-based cooperative processes for the simulation kernel.
+
+A process is a Python generator that yields *commands* telling the kernel
+what to wait for:
+
+* ``Timeout(delay)`` — resume after ``delay`` simulated seconds.
+* ``Wait(signal)`` — resume when ``signal`` fires; the fired value is sent
+  back into the generator.
+* another ``Process`` — resume when that process terminates; its return
+  value is sent back.
+
+Processes terminate by returning (``StopIteration``). The kernel exposes
+``Simulator.spawn`` to start them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from .events import Signal
+
+
+@dataclasses.dataclass(frozen=True)
+class Timeout:
+    """Suspend the yielding process for ``delay`` simulated seconds."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"Timeout delay must be >= 0, got {self.delay}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Wait:
+    """Suspend the yielding process until ``signal`` fires."""
+
+    signal: Signal
+
+
+class ProcessKilled(Exception):
+    """Raised inside a process generator when it is killed externally."""
+
+
+class Process:
+    """A running simulation process wrapping a generator."""
+
+    __slots__ = (
+        "sim",
+        "name",
+        "generator",
+        "alive",
+        "value",
+        "done_signal",
+        "_pending_cancel",
+        "failure",
+    )
+
+    def __init__(self, sim, generator: typing.Generator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self.generator = generator
+        self.alive = True
+        self.value = None
+        self.failure: typing.Optional[BaseException] = None
+        self.done_signal = Signal(f"{self.name}.done")
+        self._pending_cancel = None
+
+    def start(self) -> "Process":
+        """Schedule the first step of the process at the current time."""
+        self.sim.schedule(0.0, self._step, None)
+        return self
+
+    def kill(self) -> None:
+        """Terminate the process, raising ``ProcessKilled`` inside it."""
+        if not self.alive:
+            return
+        if self._pending_cancel is not None:
+            self._pending_cancel()
+            self._pending_cancel = None
+        try:
+            self.generator.throw(ProcessKilled())
+        except (ProcessKilled, StopIteration):
+            pass
+        self._finish(None)
+
+    def _finish(self, value) -> None:
+        if not self.alive:
+            return
+        self.alive = False
+        self.value = value
+        self.done_signal.fire(value)
+
+    def _fail(self, exc: BaseException) -> None:
+        self.alive = False
+        self.failure = exc
+        raise exc
+
+    def _step(self, send_value) -> None:
+        """Advance the generator one yield, then arm the next wakeup."""
+        if not self.alive:
+            return
+        self._pending_cancel = None
+        try:
+            command = self.generator.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except ProcessKilled:
+            self._finish(None)
+            return
+        except Exception as exc:
+            self._fail(exc)
+            return
+        self._arm(command)
+
+    def _arm(self, command) -> None:
+        if isinstance(command, Timeout):
+            handle = self.sim.schedule(command.delay, self._step, None)
+            self._pending_cancel = handle.cancel
+        elif isinstance(command, Wait):
+            signal = command.signal
+            signal.add_waiter(self._step)
+            self._pending_cancel = lambda: signal.remove_waiter(self._step)
+        elif isinstance(command, Process):
+            other = command
+            if other.alive:
+                other.done_signal.add_waiter(self._step)
+                self._pending_cancel = lambda: other.done_signal.remove_waiter(
+                    self._step
+                )
+            else:
+                self.sim.schedule(0.0, self._step, other.value)
+        elif isinstance(command, Signal):
+            command.add_waiter(self._step)
+            self._pending_cancel = lambda: command.remove_waiter(self._step)
+        else:
+            self._fail(
+                TypeError(
+                    f"process {self.name!r} yielded unsupported command "
+                    f"{command!r}; yield Timeout, Wait, Signal, or Process"
+                )
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "done"
+        return f"Process({self.name!r}, {state})"

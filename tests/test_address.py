@@ -1,0 +1,77 @@
+"""Unit tests for addressing, providers, and WHOIS."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.address import AddressRegistry, AnycastGroup, Endpoint, IPAddress
+
+
+def test_ip_dotted_format():
+    assert str(IPAddress(0x0A000001)) == "10.0.0.1"
+
+
+def test_ip_parse_roundtrip():
+    ip = IPAddress.parse("192.168.7.41")
+    assert str(ip) == "192.168.7.41"
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_ip_roundtrip_property(value):
+    ip = IPAddress(value)
+    assert IPAddress.parse(str(ip)) == ip
+
+
+def test_ip_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        IPAddress(2**32)
+
+
+@pytest.mark.parametrize("text", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d"])
+def test_ip_parse_rejects_bad_input(text):
+    with pytest.raises(ValueError):
+        IPAddress.parse(text)
+
+
+def test_endpoint_str():
+    assert str(Endpoint(IPAddress.parse("10.0.0.1"), 443)) == "10.0.0.1:443"
+
+
+def test_provider_allocates_unique_addresses():
+    registry = AddressRegistry()
+    provider = registry.provider("AWS")
+    addresses = {provider.allocate() for _ in range(100)}
+    assert len(addresses) == 100
+    assert all(provider.owns(ip) for ip in addresses)
+
+
+def test_providers_get_distinct_blocks():
+    registry = AddressRegistry()
+    aws = registry.provider("AWS").allocate()
+    meta = registry.provider("Meta").allocate()
+    assert (aws.value >> 24) != (meta.value >> 24)
+
+
+def test_provider_lookup_is_cached():
+    registry = AddressRegistry()
+    assert registry.provider("X") is registry.provider("X")
+
+
+def test_whois_resolves_owner():
+    registry = AddressRegistry()
+    ip = registry.provider("Cloudflare").allocate()
+    assert registry.whois(ip) == "Cloudflare"
+
+
+def test_whois_unknown_space():
+    registry = AddressRegistry()
+    registry.provider("AWS")
+    assert registry.whois(IPAddress.parse("223.0.0.1")) is None
+
+
+def test_anycast_group_membership():
+    registry = AddressRegistry()
+    ip = registry.provider("Cloudflare").allocate()
+    group = AnycastGroup(ip, "edge")
+    group.add_member("host-1")
+    group.add_member("host-2")
+    assert len(group.members) == 2

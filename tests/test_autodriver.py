@@ -1,0 +1,84 @@
+"""Tests for the AutoDriver scripted-input playback (Sec. 9)."""
+
+import pytest
+
+from repro.measure.autodriver import (
+    AutoDriver,
+    InputEvent,
+    InputScript,
+    latency_probe_script,
+    walk_and_chat_script,
+)
+from repro.measure.session import Testbed
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        InputEvent(-1.0, "turn", 90)
+    with pytest.raises(ValueError):
+        InputEvent(0.0, "fly", None)
+
+
+def test_script_builder_and_duration():
+    script = InputScript("s").add(5.0, "turn", 90).add(1.0, "stand")
+    assert script.duration == 5.0
+    assert [e.at for e in script.sorted_events()] == [1.0, 5.0]
+
+
+def test_script_json_roundtrip():
+    script = walk_and_chat_script(30.0)
+    text = script.to_json()
+    loaded = InputScript.from_json(text)
+    assert loaded.name == script.name
+    assert loaded.sorted_events() == script.sorted_events()
+
+
+def test_canned_scripts_valid():
+    assert walk_and_chat_script().events
+    probe = latency_probe_script(n_actions=4)
+    actions = [e for e in probe.events if e.kind == "action"]
+    assert len(actions) == 4
+
+
+def test_autodriver_replays_motion_and_gestures():
+    testbed = Testbed("worlds", n_users=2, seed=0)
+    testbed.start_all(join_at=2.0)
+    driver = AutoDriver(testbed.u1.client)
+    script = (
+        InputScript("demo")
+        .add(10.0, "teleport", [3.0, 0.0])
+        .add(11.0, "turn", 90.0)
+        .add(12.0, "gesture", "thumbs-up")
+        .add(13.0, "game", True)
+        .add(14.0, "spin", 45.0)
+    )
+    driver.play(script)
+    client = testbed.u1.client
+    testbed.run(until=12.5)  # expressions hold for ~2 s after a gesture
+    assert "smile" in client.expressions.active(testbed.sim.now)
+    testbed.run(until=16.0)
+    assert len(driver.played) == 5
+    assert client.in_game
+    from repro.avatar.motion import Spin
+
+    assert isinstance(client.motion, Spin)
+
+
+def test_autodriver_latency_probe_measures_actions():
+    testbed = Testbed("vrchat", n_users=2, seed=0)
+    testbed.start_all(join_at=2.0)
+    driver = AutoDriver(testbed.u1.client)
+    driver.play(latency_probe_script(n_actions=3, interval_s=2.0), offset_s=12.0)
+    testbed.run(until=22.0)
+    assert len(testbed.u2.client.action_displays) == 3
+
+
+def test_autodriver_offset_shifts_schedule():
+    testbed = Testbed("vrchat", n_users=2, seed=0)
+    testbed.start_all(join_at=2.0)
+    driver = AutoDriver(testbed.u1.client)
+    driver.play(InputScript("late").add(0.0, "turn", 45.0), offset_s=10.0)
+    testbed.run(until=5.0)
+    assert not driver.played
+    testbed.run(until=11.0)
+    assert len(driver.played) == 1

@@ -1,0 +1,139 @@
+"""Unit and property tests for pose, angles, and viewport geometry."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.avatar.pose import Pose, Vec3, normalize_angle
+from repro.avatar.viewport import (
+    ALTSPACE_SERVER_VIEWPORT,
+    HEADSET_VIEWPORT,
+    TURN_STEP_DEG,
+    Viewport,
+    visible_count,
+)
+
+
+def test_vec3_arithmetic():
+    a = Vec3(1, 2, 3)
+    b = Vec3(4, 5, 6)
+    assert (a + b).x == 5
+    assert (b - a).z == 3
+    assert a.scaled(2).y == 4
+
+
+def test_vec3_distance():
+    assert Vec3(0, 0, 0).distance_to(Vec3(3, 4, 0)) == pytest.approx(5.0)
+
+
+def test_vec3_copy_is_independent():
+    a = Vec3(1, 1, 1)
+    b = a.copy()
+    b.x = 9
+    assert a.x == 1
+
+
+@given(st.floats(min_value=-10_000, max_value=10_000))
+def test_normalize_angle_range(angle):
+    wrapped = normalize_angle(angle)
+    assert -180.0 <= wrapped < 180.0
+
+
+@given(st.floats(min_value=-720, max_value=720))
+def test_normalize_angle_preserves_direction(angle):
+    wrapped = normalize_angle(angle)
+    assert math.isclose(
+        math.sin(math.radians(angle)), math.sin(math.radians(wrapped)), abs_tol=1e-9
+    )
+
+
+def test_pose_turn_wraps():
+    pose = Pose(yaw_deg=170.0)
+    pose.turn(30.0)
+    assert pose.yaw_deg == pytest.approx(-160.0)
+
+
+def test_pose_move_forward_follows_yaw():
+    pose = Pose()
+    pose.yaw_deg = 90.0  # facing +x
+    pose.move_forward(2.0)
+    assert pose.position.x == pytest.approx(2.0)
+    assert pose.position.z == pytest.approx(0.0, abs=1e-9)
+
+
+def test_bearing_dead_ahead_is_zero():
+    pose = Pose()  # at origin facing +z
+    assert pose.bearing_to(Vec3(0, 0, 5)) == pytest.approx(0.0)
+
+
+def test_bearing_right_is_positive():
+    pose = Pose()
+    assert pose.bearing_to(Vec3(5, 0, 0)) == pytest.approx(90.0)
+
+
+def test_bearing_behind():
+    pose = Pose()
+    assert abs(pose.bearing_to(Vec3(0, 0, -5))) == pytest.approx(180.0)
+
+
+def test_viewport_contains_boundary():
+    viewport = Viewport(150.0)
+    assert viewport.contains_bearing(74.9)
+    assert viewport.contains_bearing(-74.9)
+    assert not viewport.contains_bearing(75.1)
+
+
+@given(st.floats(min_value=-360, max_value=360))
+def test_viewport_symmetric(bearing):
+    viewport = Viewport(120.0)
+    assert viewport.contains_bearing(bearing) == viewport.contains_bearing(-bearing)
+
+
+def test_viewport_360_sees_everything():
+    viewport = Viewport(360.0)
+    for bearing in range(-180, 180, 10):
+        assert viewport.contains_bearing(bearing)
+
+
+def test_viewport_validation():
+    with pytest.raises(ValueError):
+        Viewport(0.0)
+    with pytest.raises(ValueError):
+        Viewport(400.0)
+
+
+def test_altspace_savings_bound():
+    """Sec. 6.1: 1 - 150/360 ~= 58% maximum savings."""
+    assert ALTSPACE_SERVER_VIEWPORT.max_savings_fraction() == pytest.approx(
+        0.583, abs=0.001
+    )
+
+
+def test_turn_step_is_16th_of_circle():
+    assert TURN_STEP_DEG * 16 == 360.0
+
+
+def test_visible_count():
+    observer = Pose()  # facing +z
+    targets = [Vec3(0, 0, 5), Vec3(5, 0, 0), Vec3(0, 0, -5)]
+    assert visible_count(observer, targets, HEADSET_VIEWPORT) == 1
+    assert visible_count(observer, targets, Viewport(360.0)) == 3
+
+
+def test_visible_count_accepts_poses():
+    observer = Pose()
+    target = Pose(position=Vec3(0, 0, 3))
+    assert visible_count(observer, [target], HEADSET_VIEWPORT) == 1
+
+
+@given(
+    st.floats(min_value=-170, max_value=170),
+    st.floats(min_value=20, max_value=350),
+)
+def test_viewport_edge_consistency(bearing, width):
+    """A bearing inside a narrower viewport is inside any wider one."""
+    narrow = Viewport(width)
+    wide = Viewport(min(360.0, width + 10))
+    if narrow.contains_bearing(bearing):
+        assert wide.contains_bearing(bearing)

@@ -1,0 +1,210 @@
+"""Unit tests for motion scripts, embodiment sizing, codec, expressions."""
+
+import random
+
+import pytest
+
+from repro.avatar.codec import AvatarCodec, decode
+from repro.avatar.embodiment import EmbodimentProfile
+from repro.avatar.expression import ExpressionState, GestureEvent
+from repro.avatar.motion import (
+    FacePoint,
+    FingerTouch,
+    Mingle,
+    MotionSequence,
+    SnapTurnSequence,
+    Stand,
+    TimedTurn,
+    Wander,
+)
+from repro.avatar.pose import Pose, Vec3
+from repro.platforms.profiles import get_profile
+
+RNG = random.Random(7)
+
+
+def _profile(**overrides):
+    base = dict(
+        name="test",
+        human_like=False,
+        has_arms=True,
+        has_lower_body=False,
+        facial_expressions=True,
+        gesture_tracking=False,
+        tracked_joints=3,
+        bytes_per_joint=20,
+        header_bytes=30,
+        expression_bytes=8,
+        update_rate_hz=20.0,
+    )
+    base.update(overrides)
+    return EmbodimentProfile(**base)
+
+
+def test_update_payload_composition():
+    profile = _profile()
+    assert profile.update_payload_bytes() == 30 + 3 * 20 + 8
+
+
+def test_expression_bytes_skipped_without_support():
+    profile = _profile(facial_expressions=False, expression_bytes=8)
+    assert profile.update_payload_bytes() == 30 + 60
+
+
+def test_gesture_tracking_cost():
+    profile = _profile(gesture_tracking=True)
+    base = profile.update_payload_bytes(active_expressions=0)
+    with_gesture = profile.update_payload_bytes(active_expressions=2)
+    assert with_gesture == base + 32
+
+
+def test_activity_scales_joint_bytes_only():
+    profile = _profile()
+    low = profile.update_payload_bytes(activity=0.5)
+    high = profile.update_payload_bytes(activity=1.5)
+    assert low == 30 + 30 + 8
+    assert high == 30 + 90 + 8
+
+
+def test_nominal_kbps():
+    profile = _profile()
+    expected = (30 + 60 + 8) * 8 * 20 / 1000
+    assert profile.nominal_kbps() == pytest.approx(expected)
+
+
+def test_worlds_complexity_exceeds_altspace():
+    worlds = get_profile("worlds").embodiment
+    altspace = get_profile("altspacevr").embodiment
+    assert worlds.complexity_score() > 3 * altspace.complexity_score()
+
+
+def test_codec_sequence_increments():
+    codec = AvatarCodec(_profile())
+    pose = Pose()
+    _, first = codec.encode("u1", pose, 0.0)
+    _, second = codec.encode("u1", pose, 0.1)
+    assert (first.sequence, second.sequence) == (1, 2)
+
+
+def test_codec_captures_pose_and_action():
+    codec = AvatarCodec(_profile())
+    pose = Pose(position=Vec3(1, 0, 2), yaw_deg=45.0)
+    size, update = codec.encode("u1", pose, 1.5, action_id=7)
+    assert update.position == (1, 0, 2)
+    assert update.yaw_deg == 45.0
+    assert update.carries_action
+    assert decode(update) is update
+    assert size == _profile().update_payload_bytes()
+
+
+def test_codec_without_action():
+    codec = AvatarCodec(_profile())
+    _, update = codec.encode("u1", Pose(), 0.0)
+    assert not update.carries_action
+
+
+def test_expression_state_trigger_and_expiry():
+    state = ExpressionState(hold_s=2.0)
+    state.trigger("smile", now=1.0)
+    assert state.active(2.0) == ("smile",)
+    assert state.active(3.5) == ()
+
+
+def test_expression_state_rejects_unknown():
+    with pytest.raises(ValueError):
+        ExpressionState().trigger("frown", 0.0)
+
+
+def test_gesture_maps_to_expression():
+    state = ExpressionState()
+    assert state.apply_gesture(GestureEvent("thumbs-up", 0.0)) == "smile"
+    assert state.apply_gesture(GestureEvent("thumbs-down", 0.0)) == "sad"
+    assert state.apply_gesture(GestureEvent("clap", 0.0)) is None
+
+
+def test_wander_stays_in_room():
+    motion = Wander(room_radius=5.0, speed=2.0)
+    pose = Pose()
+    for step in range(2000):
+        motion.step(pose, 0.05, step * 0.05, RNG)
+        assert pose.position.distance_to(Vec3()) < 5.5
+
+
+def test_mingle_stays_near_home_and_faces_focus():
+    home = Vec3(3.0, 0.0, 0.0)
+    motion = Mingle(home=home, focus=Vec3(0, 0, 0), radius=1.0)
+    pose = Pose(position=home.copy())
+    for step in range(500):
+        motion.step(pose, 0.05, step * 0.05, RNG)
+        assert pose.position.distance_to(home) < 2.0
+    bearing = pose.bearing_to(Vec3(0, 0, 0))
+    assert abs(bearing) < 1.0  # facing the focus
+
+
+def test_face_point():
+    motion = FacePoint(Vec3(10, 0, 0))
+    pose = Pose()
+    motion.step(pose, 0.05, 0.0, RNG)
+    assert pose.yaw_deg == pytest.approx(90.0)
+
+
+def test_timed_turn_fires_once():
+    motion = TimedTurn(initial_yaw=0.0, turn_at=5.0, turn_deg=180.0)
+    pose = Pose()
+    motion.step(pose, 0.05, 1.0, RNG)
+    assert pose.yaw_deg == 0.0
+    motion.step(pose, 0.05, 5.0, RNG)
+    assert abs(pose.yaw_deg) == pytest.approx(180.0)
+    motion.step(pose, 0.05, 6.0, RNG)  # no further turning
+    assert abs(pose.yaw_deg) == pytest.approx(180.0)
+
+
+def test_snap_turn_sequence_steps():
+    motion = SnapTurnSequence(initial_yaw=180.0, step_interval_s=10.0, start_at=0.0)
+    pose = Pose()
+    motion.step(pose, 0.05, 0.5, RNG)
+    assert motion.steps_taken == 0
+    motion.step(pose, 0.05, 10.5, RNG)
+    assert motion.steps_taken == 1
+    assert pose.yaw_deg == pytest.approx(-157.5)  # 180 + 22.5 wrapped
+    motion.step(pose, 0.05, 45.0, RNG)
+    assert motion.steps_taken == 4
+
+
+def test_finger_touch_triggers_once():
+    motion = FingerTouch(at=2.0)
+    pose = Pose()
+    before = pose.right_hand.x
+    motion.step(pose, 0.05, 1.0, RNG)
+    assert not motion.performed
+    motion.step(pose, 0.05, 2.01, RNG)
+    assert motion.performed
+    assert motion.performed_at == pytest.approx(2.01)
+    moved = pose.right_hand.x
+    motion.step(pose, 0.05, 3.0, RNG)
+    assert pose.right_hand.x == moved
+    assert moved != before
+
+
+def test_motion_sequence_switches():
+    sequence = MotionSequence(
+        [(0.0, FaceDirection := FacePoint(Vec3(10, 0, 0))), (5.0, FacePoint(Vec3(-10, 0, 0)))]
+    )
+    pose = Pose()
+    sequence.step(pose, 0.05, 1.0, RNG)
+    assert pose.yaw_deg == pytest.approx(90.0)
+    sequence.step(pose, 0.05, 6.0, RNG)
+    assert pose.yaw_deg == pytest.approx(-90.0)
+
+
+def test_motion_sequence_requires_entries():
+    with pytest.raises(ValueError):
+        MotionSequence([])
+
+
+def test_stand_sways_gently():
+    motion = Stand(sway_deg=2.0)
+    pose = Pose()
+    for step in range(100):
+        motion.step(pose, 0.05, step * 0.05, RNG)
+    assert abs(pose.yaw_deg) < 15.0

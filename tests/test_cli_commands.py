@@ -1,0 +1,61 @@
+"""Smoke tests for the heavier CLI subcommands."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_cli_table2_single_platform(capsys):
+    assert main(["table2", "--platforms", "vrchat"]) == 0
+    out = capsys.readouterr().out
+    assert "Cloudflare" in out
+    assert "HTTPS" in out and "UDP" in out
+
+
+def test_cli_table3_single_platform(capsys):
+    assert main(["table3", "--platforms", "vrchat"]) == 0
+    out = capsys.readouterr().out
+    assert "1440x1584" in out
+
+
+def test_cli_table4_single_platform(capsys):
+    assert main(["table4", "--platforms", "recroom", "--actions", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "recroom" in out and "E2E" in out
+
+
+def test_cli_fig7_small(capsys):
+    assert main(["fig7", "--platforms", "vrchat", "--users", "1", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Down (Mbps)" in out
+
+
+def test_cli_public_event(capsys):
+    assert (
+        main(
+            [
+                "public-event",
+                "--platform",
+                "vrchat",
+                "--users",
+                "6",
+                "--duration",
+                "60",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Kbps/user" in out
+
+
+def test_cli_disruption_tcp(capsys):
+    assert main(["disruption", "--experiment", "tcp"]) == 0
+    out = capsys.readouterr().out
+    assert "udp dead: True" in out
+
+
+def test_cli_solutions(capsys):
+    assert main(["solutions", "--platform", "vrchat"]) == 0
+    out = capsys.readouterr().out
+    assert "p2p" in out and "forwarding" in out

@@ -1,0 +1,161 @@
+"""Unit tests for headset profiles, rendering, resources, metrics."""
+
+import pytest
+
+from repro.device.headset import PC_CLIENT, QUEST_2, VIVE_COSMOS, device
+from repro.device.metrics import MetricsSample, OvrMetricsSampler
+from repro.device.rendering import RenderCostProfile, RenderModel
+from repro.device.resources import ResourceModel, ResourceProfile
+from repro.simcore import Simulator
+
+
+def test_device_lookup():
+    assert device("quest2") is QUEST_2
+    assert device("vive") is VIVE_COSMOS
+    assert device("pc") is PC_CLIENT
+    with pytest.raises(KeyError):
+        device("rift")
+
+
+def test_quest2_profile_matches_paper():
+    """Sec. 3.2: Quest 2 runs at 72 Hz with 1832x1920 per eye."""
+    assert QUEST_2.refresh_hz == 72.0
+    assert str(QUEST_2.display_resolution) == "1832x1920"
+    assert QUEST_2.total_memory_gb == 6.0
+
+
+def _render_model(base=13.0, per_avatar=1.0, dev=QUEST_2):
+    return RenderModel(RenderCostProfile(base, per_avatar), dev)
+
+
+def test_fps_capped_at_refresh():
+    model = _render_model(base=5.0)
+    assert model.fps(0) == 72.0
+
+
+def test_fps_degrades_with_avatars():
+    model = _render_model(base=11.2, per_avatar=1.36)
+    fps_5 = model.fps(4)
+    fps_15 = model.fps(14)
+    assert fps_5 == pytest.approx(60.0, abs=2.0)  # Hubs at 5 users (Fig. 7)
+    assert fps_15 == pytest.approx(33.0, abs=2.0)  # Hubs at 15 users
+
+
+def test_stale_frames_complement_fps():
+    model = _render_model(base=20.0)
+    assert model.stale_frames_per_s(0) == pytest.approx(72.0 - model.fps(0))
+    fast = _render_model(base=5.0)
+    assert fast.stale_frames_per_s(0) == 0.0
+
+
+def test_overload_inflates_frame_time():
+    model = _render_model()
+    assert model.frame_time_ms(5, overload_factor=2.0) == pytest.approx(
+        2 * model.frame_time_ms(5)
+    )
+
+
+def test_tethered_device_renders_faster():
+    quest = _render_model(dev=QUEST_2)
+    vive = _render_model(dev=VIVE_COSMOS)
+    assert vive.frame_time_ms(10) < quest.frame_time_ms(10)
+
+
+def test_negative_avatars_rejected():
+    with pytest.raises(ValueError):
+        _render_model().frame_time_ms(-1)
+
+
+def test_receiver_display_delay_positive():
+    model = _render_model()
+    delay = model.receiver_display_delay_s(3)
+    assert 0.0 < delay < 0.1
+
+
+def _resources(**overrides):
+    base = dict(
+        cpu_base_pct=50.0,
+        cpu_per_avatar_pct=1.5,
+        gpu_base_pct=60.0,
+        gpu_per_avatar_pct=1.0,
+        memory_base_mb=1200.0,
+        memory_per_avatar_mb=10.0,
+        battery_pct_per_min=0.8,
+    )
+    base.update(overrides)
+    return ResourceModel(ResourceProfile(**base))
+
+
+def test_cpu_grows_linearly():
+    model = _resources()
+    assert model.cpu_pct(0) == 50.0
+    assert model.cpu_pct(10) == 65.0
+
+
+def test_cpu_clamped_at_100():
+    model = _resources(cpu_base_pct=95.0, cpu_per_avatar_pct=5.0)
+    assert model.cpu_pct(20) == 100.0
+
+
+def test_recovery_load_raises_cpu_lowers_gpu():
+    model = _resources()
+    assert model.cpu_pct(0, recovery_load=1.0) == 75.0
+    assert model.gpu_pct(0, recovery_load=1.0) < model.gpu_pct(0)
+
+
+def test_memory_10mb_per_avatar():
+    """Fig. 8: each avatar costs ~10 MB."""
+    model = _resources()
+    assert model.memory_mb(14) - model.memory_mb(0) == pytest.approx(140.0)
+
+
+def test_battery_under_10pct_per_10min():
+    """Sec. 6.2: <10% battery over 10 minutes at any user count."""
+    model = _resources()
+    assert model.battery_drain_pct(600.0, 14) < 10.0
+
+
+def test_overload_factor_kicks_in_above_85():
+    calm = _resources(cpu_base_pct=50.0)
+    assert calm.cpu_overload_factor(0) == 1.0
+    hot = _resources(cpu_base_pct=95.0)
+    assert hot.cpu_overload_factor(0) > 1.0
+
+
+def test_metrics_sampler_collects_periodically():
+    sim = Simulator(seed=0)
+
+    class FakeClient:
+        def device_snapshot(self):
+            return MetricsSample(
+                time=sim.now,
+                fps=72.0,
+                stale_per_s=0.0,
+                cpu_pct=50.0,
+                gpu_pct=60.0,
+                memory_mb=1200.0,
+                visible_avatars=1,
+            )
+
+    sampler = OvrMetricsSampler(sim, FakeClient(), period_s=1.0)
+    sampler.start()
+    sim.run(until=10.5)
+    assert len(sampler.samples) == 10
+    assert sampler.mean("fps", 0.0, 10.0) == 72.0
+    times, values = sampler.series("cpu_pct")
+    assert len(times) == len(values) == 10
+
+
+def test_metrics_sampler_stop():
+    sim = Simulator(seed=0)
+
+    class FakeClient:
+        def device_snapshot(self):
+            return MetricsSample(sim.now, 72, 0, 50, 60, 1200, 0)
+
+    sampler = OvrMetricsSampler(sim, FakeClient(), period_s=1.0)
+    sampler.start()
+    sim.schedule(3.5, sampler.stop)
+    sim.run(until=10.0)
+    assert len(sampler.samples) == 3
+    assert sampler.mean("fps", 5.0, 10.0) is None

@@ -1,0 +1,45 @@
+"""Sec. 5.1 footnote: throughput does not depend on the device type."""
+
+import pytest
+
+from repro.capture.sniffer import DOWNLINK, UPLINK
+from repro.capture.timeseries import average_kbps
+from repro.measure.session import Testbed
+
+
+def _throughput(devices, seed=0):
+    testbed = Testbed("recroom", n_users=2, seed=seed, devices=devices)
+    testbed.start_all(join_at=2.0)
+    testbed.run(until=35.0)
+    records = testbed.u1.sniffer.records
+    up = average_kbps([r for r in records if r.direction == UPLINK], 12.0, 35.0)
+    down = average_kbps([r for r in records if r.direction == DOWNLINK], 12.0, 35.0)
+    return up, down
+
+
+def test_throughput_same_across_devices():
+    """Quest 2, VIVE, and PC produce the same wire traffic (Sec. 5.1:
+    'We do not observe significant throughput differences when using
+    other devices')."""
+    quest = _throughput(["quest2", "quest2"])
+    vive = _throughput(["vive", "quest2"])
+    pc = _throughput(["pc", "quest2"])
+    for other in (vive, pc):
+        assert other[0] == pytest.approx(quest[0], rel=0.1)
+        assert other[1] == pytest.approx(quest[1], rel=0.1)
+
+
+def test_fps_does_depend_on_device():
+    """Unlike throughput, rendering performance is device-bound."""
+    testbed = Testbed("hubs", n_users=1, seed=0, devices=["pc"])
+    testbed.start_all(join_at=2.0)
+    testbed.add_peers(14, join_times=[2.0] * 14)
+    testbed.run(until=60.0)
+    pc_fps = testbed.u1.client.device_snapshot().fps
+
+    testbed2 = Testbed("hubs", n_users=1, seed=0, devices=["quest2"])
+    testbed2.start_all(join_at=2.0)
+    testbed2.add_peers(14, join_times=[2.0] * 14)
+    testbed2.run(until=60.0)
+    quest_fps = testbed2.u1.client.device_snapshot().fps
+    assert pc_fps > quest_fps + 10.0

@@ -1,0 +1,148 @@
+"""Integration tests: Figs. 12-13 and Sec. 8.2 (network disruptions)."""
+
+import pytest
+
+from repro.measure.disruption import (
+    assess_latency_disruption,
+    assess_loss_disruption,
+    run_downlink_disruption,
+    run_tcp_uplink_control,
+    run_uplink_disruption,
+)
+
+
+@pytest.fixture(scope="module")
+def downlink_run():
+    return run_downlink_disruption("worlds", seed=1)
+
+
+@pytest.fixture(scope="module")
+def uplink_run():
+    return run_uplink_disruption("worlds", seed=1)
+
+
+@pytest.fixture(scope="module")
+def tcp_run():
+    return run_tcp_uplink_control("worlds", seed=1)
+
+
+def test_game_traffic_levels(downlink_run):
+    """Sec. 8.1: Arena Clash pushes Worlds to ~1.2/0.7 Mbps up/down."""
+    baseline = downlink_run.stages[0]  # 1.0 Mbps cap: unconstrained down
+    assert baseline.up_kbps.mean == pytest.approx(1200.0, rel=0.12)
+    assert baseline.down_kbps.mean == pytest.approx(700.0, rel=0.15)
+
+
+def test_downlink_capped_at_each_stage(downlink_run):
+    """The client aggressively uses whatever downlink remains."""
+    for stage, cap_mbps in zip(downlink_run.stages, (1.0, 0.7, 0.5, 0.3, 0.2, 0.1)):
+        if cap_mbps >= 0.7:
+            continue  # demand is below these caps
+        assert stage.down_kbps.mean == pytest.approx(cap_mbps * 1000, rel=0.12)
+
+
+def test_downlink_restriction_disturbs_uplink(downlink_run):
+    """Fig. 12(a): insufficient downlink makes the uplink collapse."""
+    baseline = downlink_run.stages[0].up_kbps.mean
+    tight = downlink_run.stages[4].up_kbps.mean  # 0.2 Mbps stage
+    assert tight < 0.7 * baseline
+
+
+def test_downlink_restriction_raises_cpu_drops_gpu(downlink_run):
+    """Fig. 12(b): CPU climbs toward 100%, GPU slightly drops."""
+    baseline = downlink_run.stages[0]
+    tight = downlink_run.stages[5]  # 0.1 Mbps stage
+    assert tight.cpu_pct.mean > baseline.cpu_pct.mean + 20.0
+    assert tight.cpu_pct.mean > 85.0
+    assert tight.gpu_pct.mean < baseline.gpu_pct.mean
+
+
+def test_downlink_restriction_drops_fps_with_stale_frames(downlink_run):
+    """Fig. 12(c): FPS falls and stale frames appear."""
+    baseline = downlink_run.stages[0]
+    tight = downlink_run.stages[5]
+    assert baseline.fps.mean > 70.0
+    assert tight.fps.mean < 60.0
+    assert tight.stale_per_s.mean > 5.0
+
+
+def test_recovery_after_disruption(downlink_run):
+    """All metrics bounce back in the no-disruption tail."""
+    recovery = downlink_run.stages[-1]
+    assert recovery.label == "N"
+    assert recovery.fps.mean > 65.0
+    assert recovery.up_kbps.mean > 1000.0
+    assert not downlink_run.frozen
+
+
+def test_uplink_capped_and_downlink_follows(uplink_run):
+    """Fig. 13 top: restricting U1's uplink also shrinks U1's downlink
+    (U2 falls into recovery and its own uplink stutters)."""
+    baseline = uplink_run.stages[0]
+    tight = uplink_run.stages[5]  # 0.3 Mbps stage
+    assert tight.udp_up_kbps.mean < 0.35 * baseline.udp_up_kbps.mean
+    assert tight.down_kbps.mean < 0.75 * baseline.down_kbps.mean
+    assert not uplink_run.frozen
+
+
+def test_tcp_delay_gates_udp(tcp_run):
+    """Fig. 13 bottom: UDP uplink shows gaps while TCP is delayed."""
+    five_s = tcp_run.stages[0]
+    baseline_udp = 1000.0  # game uplink is ~1.1 Mbps when open
+    assert five_s.udp_up_kbps.mean < 0.75 * baseline_udp
+    # Gaps of roughly the introduced delay (5 s) appear.
+    in_stage = [
+        v
+        for t, v in zip(tcp_run.times_s, tcp_run.udp_up_kbps)
+        if five_s.start <= t < five_s.end
+    ]
+    longest_gap = 0
+    current = 0
+    for value in in_stage:
+        current = current + 1 if value < 5.0 else 0
+        longest_gap = max(longest_gap, current)
+    assert 3 <= longest_gap <= 12
+
+
+def test_full_tcp_loss_kills_udp_permanently(tcp_run):
+    """Sec. 8.1: 100% TCP loss freezes the screen; UDP never returns,
+    TCP itself recovers once the loss clears."""
+    assert tcp_run.udp_dead
+    assert tcp_run.frozen
+    assert tcp_run.tcp_recovered
+    recovery = tcp_run.stages[-1]
+    assert recovery.udp_up_kbps.mean < 5.0
+    assert recovery.tcp_up_kbps.mean > 5.0
+
+
+def test_clock_sync_stalls_under_tcp_delay(tcp_run):
+    """Sec. 8.1: the game countdown board stops updating in real time."""
+    assert tcp_run.clock_sync_stale_during_delay
+
+
+def test_latency_thresholds_chat():
+    """Sec. 8.2: chat degrades only past ~300 ms total E2E."""
+    fine = assess_latency_disruption("recroom", 100.0, scenario="chat")
+    assert not fine.disturbed
+    bad = assess_latency_disruption("recroom", 250.0, scenario="chat")
+    assert bad.disturbed
+
+
+def test_latency_thresholds_game():
+    """Sec. 8.2: 50 ms of added latency already hurts shooting games."""
+    assert assess_latency_disruption("worlds", 50.0, scenario="game").disturbed
+    assert not assess_latency_disruption("worlds", 20.0, scenario="game").disturbed
+
+
+@pytest.mark.parametrize("platform", ["recroom", "vrchat", "worlds"])
+def test_packet_loss_tolerated_to_20pct(platform):
+    """Sec. 8.2: even 20% loss goes unnoticed."""
+    assessment = assess_loss_disruption(platform, 0.20, window_s=25.0)
+    assert not assessment.disturbed
+    assert assessment.max_update_gap_s < 1.5
+
+
+def test_altspace_latency_margin_small():
+    """Sec. 8.2: ~100 ms extra already pushes AltspaceVR past 300 ms."""
+    assessment = assess_latency_disruption("altspacevr", 100.0, scenario="chat")
+    assert assessment.disturbed

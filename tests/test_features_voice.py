@@ -1,0 +1,149 @@
+"""Tests for Table 1 behaviours: voice, games, screen share, bubbles."""
+
+import pytest
+
+from repro.capture.sniffer import UPLINK
+from repro.capture.timeseries import average_kbps
+from repro.measure.session import Testbed
+from repro.platforms.base import FeatureUnavailableError
+
+
+def _uplink_kbps(testbed, start, end):
+    return average_kbps(
+        [r for r in testbed.u1.sniffer.records if r.direction == UPLINK], start, end
+    )
+
+
+def test_unmuted_session_adds_voice_bitrate():
+    """Voice adds ~32 Kbps (Opus) on top of the muted baseline."""
+    muted = Testbed("recroom", n_users=2, seed=1, muted=True)
+    muted.start_all(join_at=2.0)
+    muted.run(until=40.0)
+    unmuted = Testbed("recroom", n_users=2, seed=1, muted=False)
+    unmuted.start_all(join_at=2.0)
+    unmuted.run(until=40.0)
+    baseline = _uplink_kbps(muted, 15.0, 40.0)
+    with_voice = _uplink_kbps(unmuted, 15.0, 40.0)
+    assert with_voice - baseline == pytest.approx(32.0, abs=10.0)
+
+
+def test_voice_is_forwarded_to_peer():
+    testbed = Testbed("vrchat", n_users=2, seed=0, muted=False)
+    testbed.start_all(join_at=2.0)
+    testbed.run(until=25.0)
+    down = [
+        r
+        for r in testbed.u2.sniffer.records
+        if r.direction == "down" and 15.0 <= r.time < 25.0
+    ]
+    # Voice frames (80 B payload at 50 pps) arrive alongside avatars.
+    small = [r for r in down if r.size < 120]
+    assert len(small) > 200
+
+
+@pytest.mark.parametrize(
+    "platform,total_band",
+    [("recroom", (60, 95)), ("vrchat", (35, 60))],
+)
+def test_footnote_game_throughput(platform, total_band):
+    """Sec. 8.1 footnote: Laser Tag ~75 Kbps, Voxel Shooting ~40 Kbps."""
+    testbed = Testbed(platform, n_users=2, seed=0)
+    testbed.start_all(join_at=2.0)
+
+    def start_game():
+        for station in testbed.stations:
+            station.client.in_game = True
+
+    testbed.sim.schedule_at(6.0, start_game)
+    testbed.run(until=40.0)
+    total = _uplink_kbps(testbed, 15.0, 40.0)
+    low, high = total_band
+    assert low <= total <= high, total
+
+
+def test_screen_share_only_on_supported_platforms():
+    testbed = Testbed("recroom", n_users=2, seed=0)
+    testbed.start_all(join_at=2.0)
+    testbed.run(until=10.0)
+    with pytest.raises(FeatureUnavailableError):
+        testbed.u1.client.start_screen_share()
+
+
+def test_screen_share_adds_forwarded_stream():
+    testbed = Testbed("altspacevr", n_users=2, seed=0)
+    testbed.start_all(join_at=2.0)
+    testbed.run(until=12.0)
+    baseline_u2 = average_kbps(
+        [r for r in testbed.u2.sniffer.records if r.direction == "down"], 6.0, 12.0
+    )
+    testbed.u1.client.start_screen_share(bitrate_kbps=1000.0)
+    testbed.run(until=30.0)
+    sharing_u2 = average_kbps(
+        [r for r in testbed.u2.sniffer.records if r.direction == "down"], 16.0, 30.0
+    )
+    assert sharing_u2 - baseline_u2 == pytest.approx(1000.0, rel=0.2)
+    testbed.u1.client.stop_screen_share()
+    testbed.run(until=45.0)
+    after_u2 = average_kbps(
+        [r for r in testbed.u2.sniffer.records if r.direction == "down"], 35.0, 45.0
+    )
+    assert after_u2 < baseline_u2 * 1.5
+
+
+def test_screen_share_requires_event_stage():
+    testbed = Testbed("hubs", n_users=1, seed=0)
+    with pytest.raises(RuntimeError):
+        testbed.u1.client.start_screen_share()
+
+
+def test_personal_space_enforced_on_supported_platforms():
+    from repro.avatar.motion import FacePoint
+    from repro.avatar.pose import Vec3
+
+    testbed = Testbed("worlds", n_users=2, seed=0)
+    # Force both users onto a collision course at the same spot.
+    for station in testbed.stations:
+        station.client.pose.position = Vec3(0.1 * station.index, 0.0, 0.0)
+        station.client.motion = FacePoint(Vec3(0, 0, 1))
+    testbed.start_all(join_at=2.0)
+    testbed.run(until=20.0)
+    u1, u2 = testbed.u1.client, testbed.u2.client
+    distance = u1.pose.position.distance_to(u2.pose.position)
+    assert distance >= 1.1  # pushed out to the bubble boundary
+    assert u1.personal_space.displacements > 0
+
+
+def test_hubs_has_no_personal_space():
+    testbed = Testbed("hubs", n_users=1, seed=0)
+    assert testbed.u1.client.personal_space is None
+
+
+def test_personal_space_unit_geometry():
+    from repro.avatar.personal_space import PersonalSpace
+    from repro.avatar.pose import Pose, Vec3
+
+    bubble = PersonalSpace(radius_m=1.0)
+    pose = Pose(position=Vec3(0.4, 0.0, 0.0))
+    moved = bubble.enforce(pose, [Vec3(0.0, 0.0, 0.0)])
+    assert moved
+    assert pose.position.distance_to(Vec3(0, 0, 0)) == pytest.approx(1.0)
+    assert not bubble.violated(pose, [Vec3(0.0, 0.0, 0.0)])
+    # Far avatars do not move the pose.
+    assert not bubble.enforce(pose, [Vec3(5.0, 0.0, 5.0)])
+
+
+def test_personal_space_colocated_push():
+    from repro.avatar.personal_space import PersonalSpace
+    from repro.avatar.pose import Pose, Vec3
+
+    bubble = PersonalSpace(radius_m=1.0)
+    pose = Pose(position=Vec3(2.0, 0.0, 3.0))
+    bubble.enforce(pose, [Vec3(2.0, 0.0, 3.0)])
+    assert pose.position.distance_to(Vec3(2.0, 0.0, 3.0)) == pytest.approx(1.0)
+
+
+def test_personal_space_validation():
+    from repro.avatar.personal_space import PersonalSpace
+
+    with pytest.raises(ValueError):
+        PersonalSpace(radius_m=0.0)

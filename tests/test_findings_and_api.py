@@ -1,0 +1,88 @@
+"""Integration tests: the five findings checker and the public API."""
+
+import pytest
+
+from repro.core.api import (
+    fig3_forwarding,
+    remote_rendering_study,
+    run_two_user_session,
+    table1_features,
+)
+from repro.core.findings import (
+    check_finding_1_channels,
+    check_finding_2_throughput,
+    check_finding_3_scalability,
+    check_finding_4_latency,
+    check_finding_5_tcp_priority,
+)
+from repro.measure.infrastructure import probe_infrastructure
+from repro.measure.latency import measure_latency
+from repro.measure.disruption import run_tcp_uplink_control
+from repro.measure.scalability import run_user_sweep
+from repro.measure.throughput import table3_row
+
+
+def test_finding_1_channels():
+    reports = {
+        name: probe_infrastructure(name)
+        for name in ("vrchat", "hubs", "worlds", "altspacevr", "recroom")
+    }
+    finding = check_finding_1_channels(reports)
+    assert finding.passed, finding.evidence
+
+
+def test_finding_2_throughput():
+    table3 = {
+        name: table3_row(name, seed=4) for name in ("vrchat", "worlds")
+    }
+    forwarding = fig3_forwarding(platforms=("recroom",), seed=4)
+    finding = check_finding_2_throughput(table3, forwarding)
+    assert finding.passed, finding.evidence
+
+
+def test_finding_3_scalability():
+    sweeps = {
+        name: run_user_sweep(name, user_counts=(1, 3, 5, 10, 15), window_s=12.0)
+        for name in ("vrchat", "hubs")
+    }
+    finding = check_finding_3_scalability(sweeps)
+    assert finding.passed, finding.evidence
+
+
+def test_finding_4_latency():
+    table4 = {
+        name: measure_latency(name, n_actions=14, seed=6)
+        for name in ("recroom", "vrchat", "worlds", "altspacevr", "hubs")
+    }
+    finding = check_finding_4_latency(table4)
+    assert finding.passed, finding.evidence
+
+
+def test_finding_5_tcp_priority():
+    run = run_tcp_uplink_control("worlds", seed=2)
+    finding = check_finding_5_tcp_priority(run)
+    assert finding.passed, finding.evidence
+
+
+def test_run_two_user_session_smoke():
+    result = run_two_user_session("vrchat", duration_s=15.0)
+    assert result.platform == "vrchat"
+    assert 20 < result.uplink_kbps < 45
+    assert result.fps == pytest.approx(72.0, abs=3.0)
+
+
+def test_table1_shape():
+    rows = table1_features()
+    assert len(rows) == 5
+    assert all("Locomotion" in row for row in rows)
+
+
+def test_remote_rendering_study_shape():
+    study = remote_rendering_study(user_counts=(2, 15, 100))
+    comparison = study["comparison"]
+    # Forwarding beats RR at 2 users, loses by 100 (Sec. 6.3).
+    assert not comparison[0].remote_rendering_wins
+    assert comparison[-1].remote_rendering_wins
+    assert 15 < study["crossover_users"] < 60
+    downs = [p.down_mbps for p in study["ablation"]]
+    assert max(downs) - min(downs) < 0.05 * max(downs)  # flat

@@ -1,0 +1,78 @@
+"""Unit tests for the geographic model."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.net.geo import (
+    ANYCAST_POP_SITES,
+    EAST_US,
+    EUROPE_UK,
+    Location,
+    MIDDLE_EAST,
+    WEST_US,
+    haversine_km,
+    nearest_site,
+)
+
+
+def test_haversine_zero_for_same_point():
+    assert haversine_km(40.0, -75.0, 40.0, -75.0) == 0.0
+
+
+def test_haversine_known_distance():
+    # New York to London is roughly 5570 km.
+    distance = haversine_km(40.71, -74.01, 51.51, -0.13)
+    assert 5400 < distance < 5700
+
+
+def test_haversine_symmetry():
+    a = haversine_km(10, 20, 30, 40)
+    b = haversine_km(30, 40, 10, 20)
+    assert math.isclose(a, b)
+
+
+@given(
+    st.floats(min_value=-89, max_value=89),
+    st.floats(min_value=-179, max_value=179),
+    st.floats(min_value=-89, max_value=89),
+    st.floats(min_value=-179, max_value=179),
+)
+def test_haversine_bounds(lat1, lon1, lat2, lon2):
+    distance = haversine_km(lat1, lon1, lat2, lon2)
+    assert 0.0 <= distance <= 20_038  # half the Earth's circumference
+
+
+def test_east_west_rtt_band():
+    """Table 2: east-coast testbed to west-coast servers sees >70 ms."""
+    rtt = EAST_US.rtt_ms(WEST_US)
+    assert 65.0 < rtt < 85.0
+
+
+def test_uk_to_west_us_rtt_band():
+    """Sec. 4.2: Europe to the western US is in the ~140-170 ms range."""
+    rtt = EUROPE_UK.rtt_ms(WEST_US)
+    assert 130.0 < rtt < 180.0
+
+
+def test_same_location_rtt_small():
+    assert EAST_US.rtt_ms(EAST_US) < 1.0
+
+
+def test_one_way_delay_half_of_rtt():
+    one_way = EAST_US.one_way_delay_s(WEST_US)
+    assert math.isclose(EAST_US.rtt_ms(WEST_US), one_way * 2000.0)
+
+
+def test_nearest_site_identity():
+    for site in ANYCAST_POP_SITES:
+        assert nearest_site(site) == site
+
+
+def test_nearest_site_for_offsite_location():
+    boston = Location("boston", 42.36, -71.06, "us-east")
+    assert nearest_site(boston) == EAST_US
+
+
+def test_middle_east_far_from_us():
+    assert MIDDLE_EAST.distance_km(EAST_US) > 9000

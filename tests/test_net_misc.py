@@ -1,0 +1,179 @@
+"""Additional edge-case tests across the network substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.address import Endpoint
+from repro.net.dns import NameError_, Resolver
+from repro.net.packet import TLS_RECORD_OVERHEAD
+from repro.net.tcp import TcpConnection, TcpListener
+from repro.net.tls import record_overhead
+from repro.net.udp import UdpSocket
+from repro.simcore import Simulator
+
+
+# ----------------------------------------------------------------------
+# DNS resolver
+# ----------------------------------------------------------------------
+def test_resolver_forward_and_reverse():
+    from repro.net.address import IPAddress
+
+    resolver = Resolver()
+    ip = IPAddress.parse("10.1.2.3")
+    resolver.register("edge-star-shv-01-iad3.facebook.com", ip)
+    assert resolver.resolve("edge-star-shv-01-iad3.facebook.com") == ip
+    assert resolver.reverse(ip) == "edge-star-shv-01-iad3.facebook.com"
+    assert resolver.known_hosts() == ["edge-star-shv-01-iad3.facebook.com"]
+
+
+def test_resolver_unknown_host():
+    with pytest.raises(NameError_):
+        Resolver().resolve("nonexistent.example")
+
+
+def test_resolver_reverse_unknown():
+    from repro.net.address import IPAddress
+
+    assert Resolver().reverse(IPAddress.parse("1.2.3.4")) is None
+
+
+def test_worlds_hostnames_registered_in_testbed():
+    from repro.measure.session import Testbed
+
+    testbed = Testbed("worlds", n_users=1)
+    hosts = testbed.resolver.known_hosts()
+    assert "edge-star-shv-01-iad3.facebook.com" in hosts
+    assert "oculus-verts-shv-01-iad3.facebook.com" in hosts
+
+
+# ----------------------------------------------------------------------
+# TLS record overhead properties
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=1, max_value=1_000_000))
+def test_record_overhead_monotone_and_bounded(app_bytes):
+    overhead = record_overhead(app_bytes)
+    assert overhead >= TLS_RECORD_OVERHEAD
+    assert overhead <= TLS_RECORD_OVERHEAD * (app_bytes // 4096 + 1)
+
+
+# ----------------------------------------------------------------------
+# TCP edge cases
+# ----------------------------------------------------------------------
+def test_tcp_connect_twice_rejected(world):
+    conn = TcpConnection(world.client, 51_000, Endpoint(world.server.ip, 443))
+    TcpListener(world.server, 443, lambda c: None)
+    conn.connect()
+    with pytest.raises(RuntimeError):
+        conn.connect()
+
+
+def test_tcp_listener_ignores_stray_non_syn(world):
+    listener = TcpListener(world.server, 8080, lambda c: None)
+    from repro.net.packet import Packet, Protocol, tcp_packet_size
+
+    stray = Packet(
+        src=Endpoint(world.client.ip, 55_555),
+        dst=Endpoint(world.server.ip, 8080),
+        protocol=Protocol.TCP,
+        size=tcp_packet_size(0),
+        payload=("tcp", "ack", 1234, 0, None),
+    )
+    world.client.send(stray)
+    world.sim.run(until=2.0)
+    assert listener.connections == {}
+
+
+def test_tcp_handshake_survives_synack_loss(world):
+    """A lost SYN-ACK is retransmitted and the connection still opens."""
+    drop = {"remaining": 1}
+    # Drop the first server->client packet (the SYN-ACK).
+    server_link = world.server.egress["r-west"]
+    original_send = server_link.send
+
+    def lossy(packet):
+        if drop["remaining"] > 0:
+            drop["remaining"] -= 1
+            return
+        original_send(packet)
+
+    server_link.send = lossy
+    established = []
+    TcpListener(world.server, 443, lambda c: None)
+    conn = TcpConnection(
+        world.client,
+        51_001,
+        Endpoint(world.server.ip, 443),
+        on_established=lambda c: established.append(world.sim.now),
+    )
+    conn.connect()
+    world.sim.run(until=10.0)
+    assert established, "handshake never completed after SYN-ACK loss"
+
+
+def test_tcp_close_unbinds_port(world):
+    TcpListener(world.server, 443, lambda c: None)
+    conn = TcpConnection(world.client, 51_002, Endpoint(world.server.ip, 443))
+    conn.connect()
+    world.sim.run(until=2.0)
+    conn.close()
+    # Port can be reused immediately.
+    again = TcpConnection(world.client, 51_002, Endpoint(world.server.ip, 443))
+    again.connect()
+    world.sim.run(until=4.0)
+    assert again.established
+
+
+def test_delayed_ack_flushes_on_timer(world):
+    """A single segment is still acknowledged within the 40 ms delack."""
+    messages = []
+
+    def on_connection(conn):
+        conn.on_message = lambda c, meta, size, t: messages.append(meta)
+
+    TcpListener(world.server, 443, on_connection)
+    conn = TcpConnection(world.client, 51_003, Endpoint(world.server.ip, 443))
+    conn.on_established = lambda c: c.send_message(100, meta="one")
+    conn.connect()
+    world.sim.run(until=3.0)
+    assert messages == ["one"]
+    assert conn.all_acked
+
+
+# ----------------------------------------------------------------------
+# UDP / loopback behaviour
+# ----------------------------------------------------------------------
+def test_udp_loopback_delivery(world):
+    got = []
+    receiver = UdpSocket(world.client, 9100, on_datagram=lambda s, n, p: got.append(p))
+    sender = UdpSocket(world.client, 9101)
+    sender.send_to(Endpoint(world.client.ip, 9100), 64, payload="self")
+    world.sim.run(until=1.0)
+    assert got == ["self"]
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=1, max_value=5), st.integers(min_value=0, max_value=10))
+def test_tcp_delivers_everything_under_loss(n_messages, loss_pct):
+    """Property: whatever the loss rate (<=10%), framing survives."""
+    from tests.conftest import SmallWorld
+
+    sim = Simulator(seed=n_messages * 100 + loss_pct)
+    world = SmallWorld(sim)
+    rng = sim.rng("prop-loss")
+    original_send = world.client_up.send
+    world.client_up.send = lambda p: (
+        None if rng.random() < loss_pct / 100 else original_send(p)
+    )
+    got = []
+
+    def on_connection(conn):
+        conn.on_message = lambda c, meta, size, t: got.append(meta)
+
+    TcpListener(world.server, 443, on_connection)
+    conn = TcpConnection(world.client, 52_000, Endpoint(world.server.ip, 443))
+    conn.on_established = lambda c: [
+        c.send_message(3000, meta=i) for i in range(n_messages)
+    ]
+    conn.connect()
+    sim.run(until=120.0)
+    assert got == list(range(n_messages))

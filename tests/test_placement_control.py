@@ -1,0 +1,200 @@
+"""Unit tests for placement policies, control service, and voice SFU."""
+
+import pytest
+
+from repro.net.address import Endpoint
+from repro.net.geo import EAST_US, EUROPE_UK, WEST_US
+from repro.net.http import HttpsClient
+from repro.net.topology import Network
+from repro.server.control import ControlService, DOWNLOAD_CHUNK_BYTES
+from repro.server.placement import ANYCAST, FIXED, REGIONAL, PlacementSpec, deploy_placement
+from repro.server.rooms import MemberBinding, RoomRegistry
+from repro.server.voice import VoiceSfu
+from repro.simcore import Simulator
+
+
+def _world():
+    sim = Simulator(seed=1)
+    network = Network(sim)
+    routers = {}
+    for site in (EAST_US, WEST_US, EUROPE_UK):
+        routers[site.name] = network.add_router(f"core-{site.name}", site)
+    sites = list(routers.values())
+    for i, a in enumerate(sites):
+        for b in sites[i + 1 :]:
+            network.connect(a, b)
+    return sim, network, routers
+
+
+def test_placement_spec_validation():
+    with pytest.raises(ValueError):
+        PlacementSpec(kind="weird", provider="X")
+    with pytest.raises(ValueError):
+        PlacementSpec(kind=FIXED, provider="X")  # missing site
+    with pytest.raises(ValueError):
+        PlacementSpec(kind=ANYCAST, provider="X", instances_per_site=0)
+
+
+def test_fixed_placement_one_site():
+    sim, network, routers = _world()
+    spec = PlacementSpec(kind=FIXED, provider="AWS", site=WEST_US.name, instances_per_site=2)
+    deployment = deploy_placement(network, spec, "svc", routers)
+    assert list(deployment.hosts_by_site) == [WEST_US.name]
+    assert len(deployment.all_hosts) == 2
+    client = network.add_host("c", EAST_US)
+    network.connect(client, routers[EAST_US.name], delay_s=0.001)
+    network.build_routes()
+    first = deployment.host_for(client, 0)
+    second = deployment.host_for(client, 1)
+    assert first is not second  # load balancing across instances
+    assert deployment.host_for(client, 2) is first
+
+
+def test_regional_placement_picks_nearest_site():
+    sim, network, routers = _world()
+    spec = PlacementSpec(kind=REGIONAL, provider="AWS")
+    deployment = deploy_placement(network, spec, "svc", routers)
+    assert len(deployment.hosts_by_site) == 3
+    client = network.add_host("c", EUROPE_UK)
+    network.connect(client, routers[EUROPE_UK.name], delay_s=0.001)
+    network.build_routes()
+    assert deployment.host_for(client, 0).location == EUROPE_UK
+
+
+def test_anycast_placement_advertises_one_ip():
+    sim, network, routers = _world()
+    spec = PlacementSpec(kind=ANYCAST, provider="Cloudflare")
+    deployment = deploy_placement(network, spec, "svc", routers)
+    client_east = network.add_host("ce", EAST_US)
+    client_eu = network.add_host("cu", EUROPE_UK)
+    network.connect(client_east, routers[EAST_US.name], delay_s=0.001)
+    network.connect(client_eu, routers[EUROPE_UK.name], delay_s=0.001)
+    network.build_routes()
+    ip_east = deployment.advertised_ip(client_east, 0)
+    ip_eu = deployment.advertised_ip(client_eu, 0)
+    assert ip_east == ip_eu  # one address worldwide
+    assert deployment.host_for(client_east, 0) is not deployment.host_for(client_eu, 0)
+
+
+def test_anycast_multiple_groups_for_load_balancing():
+    sim, network, routers = _world()
+    spec = PlacementSpec(kind=ANYCAST, provider="Cloudflare", instances_per_site=2)
+    deployment = deploy_placement(network, spec, "svc", routers)
+    client = network.add_host("c", EAST_US)
+    network.connect(client, routers[EAST_US.name], delay_s=0.001)
+    network.build_routes()
+    assert deployment.advertised_ip(client, 0) != deployment.advertised_ip(client, 1)
+
+
+def test_blocked_flags_propagate():
+    sim, network, routers = _world()
+    spec = PlacementSpec(
+        kind=FIXED,
+        provider="AWS",
+        site=WEST_US.name,
+        icmp_blocked=True,
+        tcp_probe_blocked=True,
+    )
+    deployment = deploy_placement(network, spec, "sfu", routers)
+    host = deployment.all_hosts[0]
+    assert host.icmp_blocked and host.tcp_probe_blocked
+
+
+def _control_world():
+    sim, network, routers = _world()
+    host = network.add_host("ctrl", EAST_US, provider="Meta")
+    network.connect(host, routers[EAST_US.name], delay_s=0.0003)
+    client_host = network.add_host("client", EAST_US)
+    network.connect(client_host, routers[EAST_US.name], delay_s=0.001)
+    network.build_routes()
+    return sim, network, host, client_host
+
+
+def test_control_service_download_chunking():
+    sim, network, host, client_host = _control_world()
+    service = ControlService(sim, host)
+    sizes = []
+    client = HttpsClient(
+        client_host,
+        40_000,
+        Endpoint(host.ip, 443),
+        on_ready=lambda c: c.request(
+            f"download:{DOWNLOAD_CHUNK_BYTES * 2}",
+            400,
+            on_response=lambda n, s: sizes.append(s),
+        ),
+    )
+    client.open()
+    sim.run(until=10.0)
+    assert sizes and sizes[0] <= DOWNLOAD_CHUNK_BYTES * 1.1
+
+
+def test_control_service_counts_reports_and_sync():
+    sim, network, host, client_host = _control_world()
+    service = ControlService(sim, host)
+
+    def on_ready(c):
+        c.request("report", 2125, 48)
+        c.request("clock-sync", 37_500, 48)
+
+    client = HttpsClient(client_host, 40_001, Endpoint(host.ip, 443), on_ready=on_ready)
+    client.open()
+    sim.run(until=10.0)
+    assert service.report_count == 1
+    assert service.clock_sync_count == 1
+
+
+def test_control_service_relays_avatars_between_channels():
+    sim, network, host, client_host = _control_world()
+    rooms = RoomRegistry()
+    service = ControlService(sim, host, rooms=rooms, relay_avatars=True)
+    client_b_host = network.add_host("client-b", EAST_US)
+    network.connect(client_b_host, network.nodes["core-eastern-us"], delay_s=0.001)
+    network.build_routes()
+    got = []
+    client_a = HttpsClient(client_host, 40_002, Endpoint(host.ip, 443))
+    client_b = HttpsClient(
+        client_b_host,
+        40_003,
+        Endpoint(host.ip, 443),
+        on_push=lambda name, size, meta, t: got.append((name, size)),
+    )
+    client_a.open()
+    client_b.open()
+    sim.run(until=2.0)
+    rooms.room("e").join(MemberBinding("a", None, service))
+    rooms.room("e").join(MemberBinding("b", None, service))
+    client_a.channel.push("join", 96, ("e", "a"))
+    client_b.channel.push("join", 96, ("e", "b"))
+    sim.run(until=3.0)
+    client_a.channel.push("avatar", 898, ("e", "a", None))
+    sim.run(until=5.0)
+    assert got and got[0][0] == "avatar-fwd"
+
+
+def test_voice_sfu_forwards_rtp_between_members():
+    sim, network, host, client_host = _control_world()
+    rooms = RoomRegistry()
+    sfu = VoiceSfu(sim, host, rooms)
+    peer_host = network.add_host("peer", EAST_US)
+    network.connect(peer_host, network.nodes["core-eastern-us"], delay_s=0.001)
+    network.build_routes()
+    rooms.room("e").join(MemberBinding("a", None, sfu))
+    rooms.room("e").join(MemberBinding("b", None, sfu))
+    from repro.net.webrtc import WebRtcSession
+
+    got = []
+    session_b = WebRtcSession(
+        peer_host,
+        25_001,
+        sfu.endpoint,
+        on_media=lambda src, size, sent_at, meta: got.append(size),
+    )
+    session_a = WebRtcSession(client_host, 25_000, sfu.endpoint)
+    session_a.socket.send_to(sfu.endpoint, 64, ("voice-join", "e", "a"))
+    session_b.socket.send_to(sfu.endpoint, 64, ("voice-join", "e", "b"))
+    sim.run(until=1.0)
+    session_a.send_media(80, meta=("e", "a"))
+    sim.run(until=2.0)
+    assert sfu.forwarded_frames == 1
+    assert len(got) == 1

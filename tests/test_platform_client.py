@@ -1,0 +1,152 @@
+"""Integration tests for platform client behaviour on a testbed."""
+
+import pytest
+
+from repro.measure.session import Testbed
+from repro.net.packet import Protocol
+
+
+def test_client_progresses_through_stages():
+    testbed = Testbed("vrchat", n_users=2, seed=0)
+    testbed.start_all(join_at=3.0)
+    testbed.run(until=1.0)
+    assert testbed.u1.client.stage in ("init", "welcome")
+    testbed.run(until=10.0)
+    assert testbed.u1.client.stage == "event"
+
+
+def test_clients_see_each_other():
+    testbed = Testbed("recroom", n_users=2, seed=0)
+    testbed.start_all(join_at=2.0)
+    testbed.run(until=15.0)
+    assert "u2" in testbed.u1.client.remote_avatars
+    assert "u1" in testbed.u2.client.remote_avatars
+    assert testbed.u1.client.rendered_avatars() >= 1
+
+
+def test_room_membership_registered():
+    testbed = Testbed("vrchat", n_users=2, seed=0)
+    testbed.start_all(join_at=2.0)
+    testbed.run(until=10.0)
+    room = testbed.deployment.rooms.room(testbed.room_id)
+    assert set(room.members) == {"u1", "u2"}
+
+
+def test_leave_stops_loops():
+    testbed = Testbed("vrchat", n_users=2, seed=0)
+    testbed.start_all(join_at=2.0)
+    testbed.run(until=15.0)
+    testbed.u1.client.leave()
+    sent_before = testbed.u1.client.data_socket.sent_datagrams
+    testbed.run(until=25.0)
+    assert testbed.u1.client.data_socket.sent_datagrams == sent_before
+    room = testbed.deployment.rooms.room(testbed.room_id)
+    assert "u1" not in room.members
+
+
+def test_hubs_join_download_runs_every_join():
+    """Sec. 5.2: Hubs re-downloads ~20 MB at every join (caching bug)."""
+    testbed = Testbed("hubs", n_users=1, seed=0)
+    testbed.start_all(join_at=2.0)
+    testbed.run(until=60.0)
+    assert testbed.u1.client.downloaded_bytes >= 20_000_000
+
+
+def test_recroom_no_background_download():
+    """Sec. 5.2: Rec Room pre-bundles the virtual background."""
+    testbed = Testbed("recroom", n_users=1, seed=0)
+    testbed.start_all(join_at=5.0)
+    testbed.run(until=30.0)
+    assert testbed.u1.client.downloaded_bytes == 0
+
+
+def test_worlds_report_spikes_on_control_channel():
+    """Sec. 4.1: ~300 Kbps uplink HTTPS spike every ~10 s, no downlink."""
+    testbed = Testbed("worlds", n_users=2, seed=0)
+    testbed.start_all(join_at=2.0)
+    testbed.run(until=60.0)
+    tcp_up = testbed.u1.sniffer.filter(
+        direction="up", protocol=Protocol.TCP, start=15.0, end=60.0
+    )
+    spikes = sum(r.size for r in tcp_up if r.size > 1000)
+    assert spikes > 3 * 30_000  # several ~37.5 KB reports
+    assert testbed.u1.client.last_clock_sync is not None
+
+
+def test_muted_clients_send_no_voice():
+    testbed = Testbed("vrchat", n_users=2, seed=0)
+    testbed.start_all(join_at=2.0)
+    testbed.run(until=20.0)
+    assert testbed.u1.client.voice is None
+
+
+def test_hubs_voice_session_established():
+    """Hubs runs WebRTC voice (RTCP keepalives) even when muted."""
+    testbed = Testbed("hubs", n_users=2, seed=0)
+    testbed.start_all(join_at=2.0)
+    testbed.run(until=45.0)
+    assert testbed.u1.client.voice is not None
+    stats = testbed.u1.client.voice.get_stats()
+    assert stats["currentRoundTripTime"] is not None
+    # The SFU is on the west coast: ~75 ms (Table 2).
+    assert stats["currentRoundTripTime"] * 1000 == pytest.approx(76, rel=0.15)
+
+
+def test_action_reaches_receiver():
+    testbed = Testbed("vrchat", n_users=2, seed=0)
+    testbed.start_all(join_at=2.0)
+    testbed.u1.client.perform_action(1, 15.0)
+    testbed.run(until=20.0)
+    assert 1 in testbed.u1.client.sent_actions
+    assert 1 in testbed.u2.client.action_displays
+    shown = testbed.u2.client.action_displays[1]
+    assert shown["display_at"] > shown["arrived_at"]
+
+
+def test_gesture_drives_worlds_expressions():
+    """Fig. 5: thumbs-up maps to a facial expression on Worlds."""
+    testbed = Testbed("worlds", n_users=2, seed=0)
+    testbed.start_all(join_at=2.0)
+    testbed.u1.client.perform_gesture("thumbs-up", 15.0)
+    testbed.run(until=16.0)
+    assert "smile" in testbed.u1.client.expressions.active(testbed.sim.now)
+
+
+def test_recovery_load_zero_without_disruption():
+    testbed = Testbed("worlds", n_users=2, seed=0)
+    testbed.start_all(join_at=2.0)
+    testbed.run(until=40.0)
+    assert testbed.u1.client.recovery_load < 0.15
+
+
+def test_recovery_load_rises_under_downlink_loss():
+    testbed = Testbed("worlds", n_users=2, seed=0)
+    testbed.start_all(join_at=2.0)
+    testbed.run(until=20.0)
+    testbed.u1.netem_down.configure(loss_rate=0.6)
+    testbed.run(until=40.0)
+    assert testbed.u1.client.recovery_load > 0.3
+
+
+def test_device_snapshot_reflects_population():
+    testbed = Testbed("hubs", n_users=1, seed=0)
+    testbed.start_all(join_at=2.0)
+    testbed.add_peers(9, join_times=[2.0] * 9)
+    testbed.run(until=60.0)
+    snapshot = testbed.u1.client.device_snapshot()
+    assert snapshot.visible_avatars >= 3
+    assert snapshot.cpu_pct > 70.0
+    assert snapshot.fps < 72.0
+
+
+def test_vive_user_higher_fps_headroom():
+    testbed = Testbed(
+        "vrchat", n_users=2, seed=0, devices=["vive", "quest2"]
+    )
+    testbed.start_all(join_at=2.0)
+    testbed.add_peers(10, join_times=[2.0] * 10)
+    testbed.run(until=30.0)
+    vive_fps = testbed.u1.client.device_snapshot().fps
+    quest_fps = testbed.u2.client.device_snapshot().fps
+    # Tethered rendering keeps frame times low; 90 Hz cap >= achieved.
+    assert vive_fps >= quest_fps

@@ -1,0 +1,169 @@
+"""Unit tests for platform profiles, registry, and Table 1 features."""
+
+import pytest
+
+from repro.platforms.profiles import PLATFORM_NAMES, all_profiles, get_profile
+from repro.platforms.registry import feature_row, feature_table, platform_summary
+from repro.platforms.spec import HTTPS_TRANSPORT, UDP_TRANSPORT
+
+
+def test_all_five_platforms_registered():
+    assert set(PLATFORM_NAMES) == {"altspacevr", "hubs", "recroom", "vrchat", "worlds"}
+    assert len(all_profiles()) == 5
+
+
+@pytest.mark.parametrize(
+    "alias,name",
+    [
+        ("AltspaceVR", "altspacevr"),
+        ("altspace", "altspacevr"),
+        ("rec-room", "recroom"),
+        ("horizon-worlds", "worlds"),
+        ("Mozilla-Hubs", "hubs"),
+    ],
+)
+def test_aliases(alias, name):
+    assert get_profile(alias).name == name
+
+
+def test_unknown_platform_raises():
+    with pytest.raises(KeyError):
+        get_profile("second-life")
+
+
+def test_private_hubs_variant():
+    """Sec. 7: the authors' east-coast EC2 Hubs server."""
+    private = get_profile("hubs-private")
+    assert private.name == "hubs-private"
+    assert private.data.placement.site == "eastern-us"
+    assert private.data.server_processing.mean == pytest.approx(16.2)
+    public = get_profile("hubs")
+    # Public Hubs has no east-coast presence: western US + Europe only.
+    assert public.data.placement.sites is not None
+    assert "eastern-us" not in public.data.placement.sites
+    assert public.data.server_processing.mean == pytest.approx(52.2)
+
+
+@pytest.mark.parametrize(
+    "name,target_kbps,tolerance",
+    [
+        # Table 3 'Avatar' column, minus the 28 B/packet UDP/IP overhead
+        # (HTTPS overhead for Hubs): profiles must put the *wire* rate
+        # within ~6% of the paper's measurement.
+        ("vrchat", 24.7, 0.06),
+        ("altspacevr", 11.1, 0.06),
+        ("recroom", 35.2, 0.06),
+    ],
+)
+def test_avatar_wire_rate_matches_table3(name, target_kbps, tolerance):
+    profile = get_profile(name)
+    payload = profile.embodiment.update_payload_bytes()
+    wire_kbps = (payload + 28) * 8 * profile.data.update_rate_hz / 1000
+    assert wire_kbps == pytest.approx(target_kbps, rel=tolerance)
+
+
+def test_worlds_forwarded_avatar_rate():
+    """Worlds: uplink ~600 Kbps, forwarded ~332 Kbps (Table 3)."""
+    profile = get_profile("worlds")
+    payload = profile.embodiment.update_payload_bytes()
+    up_kbps = (payload + 28) * 8 * profile.data.update_rate_hz / 1000
+    down_kbps = (
+        (payload * profile.data.forward_fraction + 28)
+        * 8
+        * profile.data.update_rate_hz
+        / 1000
+    )
+    assert up_kbps == pytest.approx(600.0, rel=0.05)
+    assert down_kbps == pytest.approx(332.0, rel=0.05)
+
+
+def test_hubs_avatar_over_https_rate():
+    """Hubs: (payload + TLS + TCP/IP) * 10 Hz ~= 77.4 Kbps (Table 3)."""
+    profile = get_profile("hubs")
+    assert profile.data.transport == HTTPS_TRANSPORT
+    payload = profile.embodiment.update_payload_bytes()
+    wire_kbps = (payload + 29 + 40) * 8 * profile.data.update_rate_hz / 1000
+    assert wire_kbps == pytest.approx(77.4, rel=0.06)
+
+
+def test_only_altspace_is_viewport_adaptive():
+    """Sec. 6.1's headline finding."""
+    flags = {p.name: p.data.viewport_adaptive for p in all_profiles()}
+    assert flags == {
+        "altspacevr": True,
+        "hubs": False,
+        "recroom": False,
+        "vrchat": False,
+        "worlds": False,
+    }
+
+
+def test_only_worlds_couples_tcp_and_udp():
+    flags = {p.name: p.data.tcp_priority_coupling for p in all_profiles()}
+    assert sum(flags.values()) == 1 and flags["worlds"]
+
+
+def test_only_hubs_is_web_based():
+    flags = {p.name: p.web_based for p in all_profiles()}
+    assert sum(flags.values()) == 1 and flags["hubs"]
+
+
+def test_worlds_room_capacity_16():
+    assert get_profile("worlds").data.room_capacity == 16
+
+
+def test_transports():
+    for profile in all_profiles():
+        expected = HTTPS_TRANSPORT if profile.name == "hubs" else UDP_TRANSPORT
+        assert profile.data.transport == expected
+
+
+def test_resolutions_match_table3():
+    resolutions = {p.name: str(p.app_resolution) for p in all_profiles()}
+    assert resolutions == {
+        "vrchat": "1440x1584",
+        "altspacevr": "2016x2224",
+        "recroom": "1224x1346",
+        "hubs": "1216x1344",
+        "worlds": "1440x1584",
+    }
+
+
+def test_app_sizes_explain_predownloaded_backgrounds():
+    """Sec. 5.2: Rec Room (1.41 GB) and Worlds (1.13 GB) bundle content."""
+    assert get_profile("recroom").app_size_mb == pytest.approx(1410.0)
+    assert get_profile("worlds").app_size_mb == pytest.approx(1130.0)
+    assert get_profile("recroom").control.initial_download_mb == 0.0
+
+
+def test_feature_table_matches_table1():
+    rows = {row["Platform"].split(" (")[0]: row for row in feature_table()}
+    assert rows["Mozilla Hubs"]["Game"] == "no"
+    assert rows["Mozilla Hubs"]["Personal Space"] == "no"
+    assert rows["Rec Room"]["NFT"] == "yes"
+    assert rows["Rec Room"]["Shopping"] == "yes"
+    assert rows["AltspaceVR"]["Facial Expression"] == "no"
+    assert rows["Horizon Worlds"]["Facial Expression"] == "yes"
+    assert "Fly" in rows["Mozilla Hubs"]["Locomotion"]
+    assert "Jump" in rows["VRChat"]["Locomotion"]
+
+
+def test_feature_table_ordered_by_year():
+    years = [row["Platform"].split("'")[-1].rstrip(")") for row in feature_table()]
+    assert years == sorted(years)
+
+
+def test_platform_summary_fields():
+    summary = platform_summary("worlds")
+    assert summary["company"] == "Meta"
+    assert summary["release_year"] == 2021
+    assert summary["viewport_adaptive"] is False
+    assert summary["room_capacity"] == 16
+
+
+def test_latency_profiles_match_table4_components():
+    sender_means = {p.name: p.latency.sender.mean for p in all_profiles()}
+    assert sender_means["hubs"] == pytest.approx(42.4)
+    assert max(sender_means, key=sender_means.get) == "hubs"
+    server_means = {p.name: p.data.server_processing.mean for p in all_profiles()}
+    assert max(server_means, key=server_means.get) == "altspacevr"

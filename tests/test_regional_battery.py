@@ -1,0 +1,92 @@
+"""Integration tests: Sec. 4.2 regional probing and energy (Sec. 6.2)."""
+
+import pytest
+
+from repro.measure.infrastructure import (
+    PlatformUnavailableError,
+    probe_from_vantage,
+    regional_study,
+)
+from repro.measure.session import Testbed
+from repro.net.geo import EUROPE_UK, LOS_ANGELES
+
+
+@pytest.fixture(scope="module")
+def study():
+    return {
+        (probe.vantage, probe.platform): probe for probe in regional_study()
+    }
+
+
+def test_altspace_data_far_from_europe(study):
+    """Sec. 4.2: AltspaceVR data servers stay in the western US,
+    ~150 ms from Europe."""
+    probe = study[("united-kingdom", "altspacevr")]
+    assert probe.data_server_region == "western-us"
+    assert 130.0 < probe.data_rtt_ms < 180.0
+    assert probe.control_rtt_ms < 5.0  # anycast control still near
+
+
+def test_hubs_https_near_in_europe_webrtc_far(study):
+    """Sec. 4.2: Hubs has HTTPS nodes in Europe (<5 ms) but its WebRTC
+    server stays in the western US (~140 ms)."""
+    probe = study[("united-kingdom", "hubs")]
+    assert probe.control_rtt_ms < 5.0
+    assert probe.data_rtt_ms < 5.0
+    assert 130.0 < probe.voice_rtt_ms < 180.0
+
+
+def test_recroom_vrchat_near_everywhere(study):
+    for vantage in ("los-angeles", "united-kingdom"):
+        for platform in ("recroom", "vrchat"):
+            probe = study[(vantage, platform)]
+            assert probe.control_rtt_ms < 5.0, (vantage, platform)
+            assert probe.data_rtt_ms < 5.0, (vantage, platform)
+
+
+def test_worlds_near_in_la_unavailable_in_europe(study):
+    la = study[("los-angeles", "worlds")]
+    assert la.data_rtt_ms < 5.0
+    uk = study[("united-kingdom", "worlds")]
+    assert uk.control_server_region == "unavailable"
+    with pytest.raises(PlatformUnavailableError):
+        probe_from_vantage("worlds", EUROPE_UK)
+
+
+def test_probe_from_vantage_direct():
+    probe = probe_from_vantage("altspacevr", LOS_ANGELES)
+    assert probe.vantage == "los-angeles"
+    assert probe.data_server_region == "western-us"
+    assert probe.data_rtt_ms < 40.0  # LA to the Pacific Northwest
+
+
+def test_battery_drain_under_10pct_per_10min():
+    """Sec. 6.2: <10% of a full charge over a 10-minute session."""
+    testbed = Testbed("worlds", n_users=1, seed=0)
+    testbed.start_all(join_at=2.0)
+    testbed.add_peers(14, join_times=[2.0] * 14)
+    testbed.run(until=600.0)
+    samples = testbed.u1.sampler.samples
+    assert samples[-1].battery_pct > 90.0
+    assert samples[-1].battery_pct < samples[0].battery_pct
+
+
+def test_battery_weakly_depends_on_population():
+    drains = {}
+    for count in (1, 15):
+        testbed = Testbed("vrchat", n_users=1, seed=0)
+        testbed.start_all(join_at=2.0)
+        if count > 1:
+            testbed.add_peers(count - 1, join_times=[2.0] * (count - 1))
+        testbed.run(until=300.0)
+        drains[count] = 100.0 - testbed.u1.sampler.samples[-1].battery_pct
+    assert drains[15] >= drains[1]
+    assert drains[15] < drains[1] * 1.3  # limited effect (Sec. 6.2)
+
+
+def test_tethered_devices_do_not_drain():
+    testbed = Testbed("vrchat", n_users=2, seed=0, devices=["vive", "quest2"])
+    testbed.start_all(join_at=2.0)
+    testbed.run(until=120.0)
+    assert testbed.u1.sampler.samples[-1].battery_pct == 100.0
+    assert testbed.u2.sampler.samples[-1].battery_pct < 100.0

@@ -1,0 +1,74 @@
+"""Tests for cross-run experiment repetition."""
+
+import dataclasses
+
+import pytest
+
+from repro.measure.repetition import RepeatedResult, repeat
+from repro.measure.stats import Summary, summarize
+
+
+@dataclasses.dataclass
+class FakeResult:
+    value: float
+    count: int
+    nested: Summary
+    label: str
+    flag: bool
+
+
+def fake_experiment(seed: int = 0, scale: float = 1.0) -> FakeResult:
+    return FakeResult(
+        value=scale * (10.0 + seed),
+        count=seed,
+        nested=summarize([seed, seed + 2.0]),
+        label="x",
+        flag=True,
+    )
+
+
+def test_repeat_aggregates_all_numeric_fields():
+    result = repeat(fake_experiment, n_runs=5, base_seed=0)
+    assert result.n_runs == 5
+    assert set(result.aggregates) == {"value", "count", "nested"}
+    assert result["value"].mean == pytest.approx(12.0)  # 10..14
+    assert result["count"].count == 5
+
+
+def test_repeat_selected_and_dotted_fields():
+    result = repeat(
+        fake_experiment, n_runs=3, fields=["value", "nested.mean"], scale=2.0
+    )
+    assert set(result.aggregates) == {"value", "nested.mean"}
+    assert result["value"].mean == pytest.approx(2 * 11.0)
+    assert result["nested.mean"].mean == pytest.approx(2.0)
+
+
+def test_repeat_summary_fields_use_their_mean():
+    result = repeat(fake_experiment, n_runs=2, fields=["nested"])
+    assert result["nested"].mean == pytest.approx(1.5)  # seeds 0,1 -> 1,2
+
+
+def test_repeat_validation():
+    with pytest.raises(ValueError):
+        repeat(fake_experiment, n_runs=0)
+    with pytest.raises(TypeError):
+        repeat(fake_experiment, n_runs=1, fields=["label"])
+
+
+def test_repeat_real_experiment_tightens_ci():
+    """Cross-run repetition of a real measurement: the paper's '20+
+    experiments' methodology on Table 3's VRChat row."""
+    from repro.measure.throughput import measure_two_user_throughput
+
+    result = repeat(
+        measure_two_user_throughput,
+        n_runs=4,
+        base_seed=10,
+        fields=["up_kbps", "down_kbps"],
+        platform="vrchat",
+        duration_s=15.0,
+    )
+    assert result["up_kbps"].mean == pytest.approx(31.4, rel=0.08)
+    assert result["up_kbps"].std < 2.0  # run-to-run variation is small
+    assert result["down_kbps"].mean == pytest.approx(31.3, rel=0.08)

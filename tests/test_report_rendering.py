@@ -1,0 +1,64 @@
+"""Unit tests for the plain-text table/series renderers."""
+
+from hypothesis import given, strategies as st
+
+from repro.measure.report import render_series, render_table, sparkline
+
+
+def test_render_table_alignment():
+    text = render_table(["A", "Blong"], [["1", "2"], ["333", "4"]])
+    lines = text.splitlines()
+    assert lines[0].startswith("A  ")
+    assert set(lines[1]) <= {"-", " "}
+    assert len(lines) == 4
+    # All rows padded to the same width.
+    assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+
+def test_render_table_with_title():
+    text = render_table(["X"], [["1"]], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+
+
+def test_render_table_coerces_cells():
+    text = render_table(["N", "F"], [[1, 2.5]])
+    assert "1" in text and "2.5" in text
+
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""
+
+
+def test_sparkline_flat_zero():
+    assert set(sparkline([0.0, 0.0, 0.0])) == {" "}
+
+
+def test_sparkline_peak_uses_top_level():
+    line = sparkline([0.0, 1.0, 10.0])
+    assert line[-1] == "@"
+
+
+def test_sparkline_downsamples_long_series():
+    line = sparkline(list(range(1000)), width=60)
+    assert len(line) == 60
+
+
+def test_sparkline_short_series_keeps_length():
+    assert len(sparkline([1.0, 2.0, 3.0], width=60)) == 3
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=300))
+def test_sparkline_bounded_width(values):
+    assert len(sparkline(values, width=40)) <= 40
+
+
+def test_render_series_annotations():
+    text = render_series("throughput", [1.0, 2.0, 3.0], unit="Kbps")
+    assert "min=1.0" in text
+    assert "mean=2.0" in text
+    assert "max=3.0" in text
+    assert "Kbps" in text
+
+
+def test_render_series_empty():
+    assert "(no data)" in render_series("empty", [])

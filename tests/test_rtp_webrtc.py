@@ -1,0 +1,74 @@
+"""Unit tests for RTP streams, RTCP reports, and WebRTC sessions."""
+
+import pytest
+
+from repro.net.address import Endpoint
+from repro.net.rtp import RTCP_INTERVAL_S, RtcpPeer, RtpStream
+from repro.net.udp import UdpSocket
+from repro.net.webrtc import WebRtcSession
+
+
+def test_rtp_frames_delivered_with_sequence(world):
+    got = []
+
+    def on_datagram(src, size, payload):
+        if payload and payload[0] == "rtp":
+            got.append((payload[2], size))  # sequence, size
+
+    UdpSocket(world.server, 5004, on_datagram=on_datagram)
+    client_socket = UdpSocket(world.client, 5005)
+    stream = RtpStream(client_socket, Endpoint(world.server.ip, 5004))
+    for _ in range(3):
+        stream.send_frame(160)
+    world.sim.run(until=2.0)
+    assert [sequence for sequence, _ in got] == [1, 2, 3]
+    assert all(size == 160 + 12 for _, size in got)  # payload + RTP header
+
+
+def test_rtcp_round_trip_estimate(world):
+    """The RTCP RTT matches the ~75 ms east-west path (Hubs method)."""
+    server_socket_holder = {}
+
+    def server_on_datagram(src, size, payload):
+        server_rtcp.handle_datagram(src, payload)
+
+    server_socket = UdpSocket(world.server, 5004, on_datagram=server_on_datagram)
+    server_rtcp = RtcpPeer(server_socket, None)
+
+    client_socket_holder = {}
+
+    def client_on_datagram(src, size, payload):
+        client_rtcp.handle_datagram(src, payload)
+
+    client_socket = UdpSocket(world.client, 5006, on_datagram=client_on_datagram)
+    client_rtcp = RtcpPeer(client_socket, Endpoint(world.server.ip, 5004))
+    client_rtcp.start()
+    world.sim.run(until=RTCP_INTERVAL_S * 4)
+    client_rtcp.stop()
+    assert client_rtcp.last_rtt_s == pytest.approx(0.076, rel=0.15)
+    assert len(client_rtcp.rtt_samples) >= 2
+
+
+def test_webrtc_session_stats(world):
+    responder = WebRtcSession(world.server, 5004, Endpoint(world.client.ip, 5010))
+    session = WebRtcSession(world.client, 5010, Endpoint(world.server.ip, 5004))
+    session.start()
+    world.sim.run(until=RTCP_INTERVAL_S * 4)
+    stats = session.get_stats()
+    assert stats["currentRoundTripTime"] == pytest.approx(0.076, rel=0.15)
+    assert stats["roundTripTimeMeasurements"] >= 2
+
+
+def test_webrtc_media_callback(world):
+    got = []
+    receiver = WebRtcSession(
+        world.server,
+        5004,
+        Endpoint(world.client.ip, 5010),
+        on_media=lambda src, size, sent_at, meta: got.append((size, meta)),
+    )
+    sender = WebRtcSession(world.client, 5010, Endpoint(world.server.ip, 5004))
+    sender.send_media(80, meta=("room", "u1"))
+    world.sim.run(until=2.0)
+    assert got == [(92, ("room", "u1"))]  # 80 B + 12 B RTP header
+    assert receiver.received_frames == 1

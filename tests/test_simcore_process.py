@@ -1,0 +1,166 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.simcore import Signal, Timeout, Wait
+
+
+def test_timeout_resumes_later(sim):
+    trace = []
+
+    def proc():
+        trace.append(sim.now)
+        yield Timeout(2.0)
+        trace.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert trace == [0.0, 2.0]
+
+
+def test_timeout_rejects_negative():
+    with pytest.raises(ValueError):
+        Timeout(-1.0)
+
+
+def test_process_return_value(sim):
+    def proc():
+        yield Timeout(1.0)
+        return "done"
+
+    process = sim.spawn(proc())
+    sim.run()
+    assert process.value == "done"
+    assert not process.alive
+
+
+def test_wait_signal_receives_fired_value(sim):
+    signal = Signal("s")
+    got = []
+
+    def waiter():
+        value = yield Wait(signal)
+        got.append(value)
+
+    sim.spawn(waiter())
+    sim.schedule(1.0, signal.fire, 123)
+    sim.run()
+    assert got == [123]
+
+
+def test_signal_wakes_all_waiters(sim):
+    signal = Signal("s")
+    got = []
+
+    def waiter(tag):
+        value = yield Wait(signal)
+        got.append((tag, value))
+
+    for tag in range(3):
+        sim.spawn(waiter(tag))
+    sim.schedule(0.5, signal.fire, "v")
+    sim.run()
+    assert sorted(got) == [(0, "v"), (1, "v"), (2, "v")]
+
+
+def test_join_another_process(sim):
+    def child():
+        yield Timeout(3.0)
+        return 99
+
+    def parent():
+        result = yield sim.spawn(child())
+        return result * 2
+
+    process = sim.spawn(parent())
+    sim.run()
+    assert process.value == 198
+    assert sim.now == 3.0
+
+
+def test_join_finished_process_resumes_immediately(sim):
+    def child():
+        yield Timeout(0.1)
+        return "c"
+
+    child_process = sim.spawn(child())
+
+    def parent():
+        yield Timeout(1.0)
+        value = yield child_process
+        return value
+
+    parent_process = sim.spawn(parent())
+    sim.run()
+    assert parent_process.value == "c"
+
+
+def test_kill_stops_process(sim):
+    trace = []
+
+    def proc():
+        while True:
+            yield Timeout(1.0)
+            trace.append(sim.now)
+
+    process = sim.spawn(proc())
+    sim.schedule(2.5, process.kill)
+    sim.run(until=10.0)
+    assert trace == [1.0, 2.0]
+    assert not process.alive
+
+
+def test_kill_fires_done_signal(sim):
+    def proc():
+        yield Timeout(100.0)
+
+    process = sim.spawn(proc())
+    done = []
+    process.done_signal.add_waiter(done.append)
+    sim.schedule(1.0, process.kill)
+    sim.run(until=5.0)
+    assert len(done) == 1
+
+
+def test_process_exception_propagates(sim):
+    def proc():
+        yield Timeout(1.0)
+        raise RuntimeError("boom")
+
+    sim.spawn(proc())
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run()
+
+
+def test_invalid_yield_raises(sim):
+    def proc():
+        yield 42
+
+    sim.spawn(proc())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_yield_bare_signal_supported(sim):
+    signal = Signal("bare")
+    got = []
+
+    def proc():
+        value = yield signal
+        got.append(value)
+
+    sim.spawn(proc())
+    sim.schedule(1.0, signal.fire, "ok")
+    sim.run()
+    assert got == ["ok"]
+
+
+def test_signal_fire_clears_waiters(sim):
+    signal = Signal("s")
+    signal.add_waiter(lambda v: None)
+    assert signal.waiter_count == 1
+    assert signal.fire("x") == 1
+    assert signal.waiter_count == 0
+    assert signal.fire("y") == 0
+    assert signal.fire_count == 2
+    assert signal.last_value == "y"

@@ -1,0 +1,66 @@
+"""Unit tests for named random streams."""
+
+from hypothesis import given, strategies as st
+
+from repro.simcore import RandomStreams, derive_seed
+
+
+def test_same_name_same_stream():
+    streams = RandomStreams(1)
+    assert streams.stream("a") is streams.stream("a")
+
+
+def test_streams_are_deterministic():
+    a = RandomStreams(5).stream("net").random()
+    b = RandomStreams(5).stream("net").random()
+    assert a == b
+
+
+def test_different_names_differ():
+    streams = RandomStreams(5)
+    xs = [streams.stream("a").random() for _ in range(5)]
+    ys = [streams.stream("b").random() for _ in range(5)]
+    assert xs != ys
+
+
+def test_different_seeds_differ():
+    assert (
+        RandomStreams(1).stream("x").random()
+        != RandomStreams(2).stream("x").random()
+    )
+
+
+def test_new_stream_does_not_perturb_existing():
+    streams_a = RandomStreams(9)
+    first = streams_a.stream("main")
+    first.random()
+    expected_next = RandomStreams(9).stream("main")
+    expected_next.random()
+    streams_a.stream("other")  # creating another stream must not matter
+    assert first.random() == expected_next.random()
+
+
+def test_reset_restores_initial_state():
+    streams = RandomStreams(3)
+    stream = streams.stream("s")
+    initial = [stream.random() for _ in range(4)]
+    streams.reset()
+    assert [stream.random() for _ in range(4)] == initial
+
+
+def test_contains():
+    streams = RandomStreams(0)
+    assert "x" not in streams
+    streams.stream("x")
+    assert "x" in streams
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.text(max_size=40))
+def test_derive_seed_in_range(seed, name):
+    value = derive_seed(seed, name)
+    assert 0 <= value < 2**64
+
+
+@given(st.integers(min_value=0, max_value=1000))
+def test_derive_seed_name_sensitivity(seed):
+    assert derive_seed(seed, "a") != derive_seed(seed, "b")

@@ -1,0 +1,165 @@
+"""Tests for the candidate-solution ablations and viewport prediction."""
+
+import pytest
+
+from repro.avatar.prediction import YawRatePredictor
+from repro.core.solutions import (
+    compare_solutions,
+    forwarding_reference,
+    run_interest_ablation,
+    run_p2p_ablation,
+)
+from repro.measure.stats import linearity_r2
+
+
+def test_forwarding_reference_shapes():
+    points = forwarding_reference((2, 5, 10), "worlds")
+    downs = [p.viewer_down_kbps for p in points]
+    assert downs[1] == pytest.approx(4 * downs[0], rel=0.01)
+    ups = [p.viewer_up_kbps for p in points]
+    assert len(set(round(u) for u in ups)) == 1  # flat uplink
+    # Server egress grows ~quadratically with the room.
+    assert points[2].server_forwarded_kbps > 20 * points[0].server_forwarded_kbps
+
+
+def test_p2p_removes_server_but_uplink_scales():
+    """The paper's prediction: P2P does not fix scalability."""
+    points = run_p2p_ablation(user_counts=(2, 5, 10), platform="worlds")
+    assert all(p.server_forwarded_kbps == 0 for p in points)
+    ups = [p.viewer_up_kbps for p in points]
+    assert linearity_r2([p.n_users for p in points], ups) > 0.99
+    assert ups[-1] > 8 * ups[0]
+
+
+def test_p2p_downlink_similar_to_forwarding():
+    p2p = run_p2p_ablation(user_counts=(5,), platform="vrchat")[0]
+    reference = forwarding_reference((5,), "vrchat")[0]
+    assert p2p.viewer_down_kbps == pytest.approx(
+        reference.viewer_down_kbps, rel=0.25
+    )
+
+
+def test_interest_scoping_bends_downlink():
+    interest = run_interest_ablation(user_counts=(5, 15), platform="worlds")
+    reference = forwarding_reference((5, 15), "worlds")
+    # At 15 users, most of the crowd is background: big savings.
+    assert interest[1].viewer_down_kbps < 0.6 * reference[1].viewer_down_kbps
+    # Growth is sublinear: tripling users far less than triples downlink.
+    ratio = interest[1].viewer_down_kbps / interest[0].viewer_down_kbps
+    assert ratio < 2.0
+
+
+def test_compare_solutions_covers_all():
+    results = compare_solutions(user_counts=(2, 5), platform="recroom")
+    assert set(results) == {"forwarding", "p2p", "interest"}
+    for points in results.values():
+        assert [p.n_users for p in points] == [2, 5]
+
+
+def test_interest_server_validation():
+    from repro.net.geo import EAST_US
+    from repro.net.topology import Network
+    from repro.server.interest import InterestScopedServer
+    from repro.server.rooms import RoomRegistry
+    from repro.simcore import Simulator
+
+    sim = Simulator(seed=0)
+    network = Network(sim)
+    router = network.add_router("r", EAST_US)
+    host = network.add_host("h", EAST_US, provider="cloud")
+    network.connect(host, router, delay_s=0.0003)
+    with pytest.raises(ValueError):
+        InterestScopedServer(
+            sim, host, RoomRegistry(), processing_delay=lambda n: 0.0,
+            interest_set_size=-1,
+        )
+
+
+def test_interest_server_keeps_nearest_full_rate():
+    from repro.avatar.codec import AvatarUpdate
+    from repro.avatar.pose import Pose, Vec3
+    from repro.net.geo import EAST_US
+    from repro.net.topology import Network
+    from repro.server.interest import InterestScopedServer
+    from repro.server.rooms import MemberBinding, RoomRegistry
+    from repro.simcore import Simulator
+
+    sim = Simulator(seed=0)
+    network = Network(sim)
+    router = network.add_router("r", EAST_US)
+    host = network.add_host("h", EAST_US, provider="cloud")
+    network.connect(host, router, delay_s=0.0003)
+    rooms = RoomRegistry()
+    server = InterestScopedServer(
+        sim,
+        host,
+        rooms,
+        processing_delay=lambda n: 0.0,
+        interest_set_size=1,
+        background_divisor=10,
+    )
+    room = rooms.room("e")
+    viewer = MemberBinding(
+        "viewer", None, server, observed=False, pose=Pose(position=Vec3(0, 0, 0))
+    )
+    room.join(viewer)
+    room.join(
+        MemberBinding(
+            "near", None, server, observed=False, pose=Pose(position=Vec3(0, 0, 1))
+        )
+    )
+    room.join(
+        MemberBinding(
+            "far", None, server, observed=False, pose=Pose(position=Vec3(0, 0, 30))
+        )
+    )
+    for seq in range(1, 21):
+        for uid, z in (("near", 1.0), ("far", 30.0)):
+            update = AvatarUpdate(
+                user_id=uid, sequence=seq, sent_at=0.0, position=(0, 0, z), yaw_deg=0
+            )
+            server.ingest_update("e", uid, 100, update)
+    # 'near' fully forwarded to the viewer; 'far' decimated to 1/10.
+    assert viewer.forwarded_bytes == 20 * 100 + 2 * 100
+    assert server.decimated_updates > 0
+    assert 0.0 < server.decimation_fraction() < 1.0
+
+
+def test_yaw_predictor_linear_motion():
+    predictor = YawRatePredictor(horizon_s=0.5)
+    assert predictor.predict(0.0) is None
+    predictor.observe(0.0, 0.0)
+    predictor.observe(1.0, 30.0)
+    assert predictor.rate_deg_s == pytest.approx(30.0)
+    # At t=1 the prediction looks 0.5 s ahead: 30 + 15 deg.
+    assert predictor.predict(1.0) == pytest.approx(45.0)
+    # Later queries extrapolate the elapsed time too.
+    assert predictor.predict(1.5) == pytest.approx(60.0)
+
+
+def test_yaw_predictor_handles_wraparound():
+    predictor = YawRatePredictor(horizon_s=0.1)
+    predictor.observe(0.0, 175.0)
+    predictor.observe(0.1, -175.0)  # +10 degrees across the wrap
+    assert predictor.rate_deg_s == pytest.approx(100.0)
+
+
+def test_yaw_predictor_caps_rate():
+    predictor = YawRatePredictor(horizon_s=0.1, max_rate_deg_s=180.0)
+    predictor.observe(0.0, 0.0)
+    predictor.observe(0.01, 90.0)
+    assert predictor.rate_deg_s == 180.0
+
+
+def test_yaw_predictor_validation():
+    with pytest.raises(ValueError):
+        YawRatePredictor(horizon_s=-1.0)
+
+
+def test_viewport_tradeoff_experiment():
+    from repro.measure.prediction import run_viewport_tradeoff
+
+    bare, widened, predicted = run_viewport_tradeoff(duration_s=25.0)
+    assert bare.missing_fraction > widened.missing_fraction
+    assert predicted.missing_fraction <= widened.missing_fraction + 0.02
+    assert predicted.savings_fraction > widened.savings_fraction

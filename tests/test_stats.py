@@ -1,0 +1,103 @@
+"""Unit and property tests for the statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.measure.stats import (
+    LinearFit,
+    Summary,
+    linear_fit,
+    linearity_r2,
+    percent_change,
+    summarize,
+)
+
+
+def test_summarize_basic():
+    summary = summarize([1.0, 2.0, 3.0])
+    assert summary.mean == pytest.approx(2.0)
+    assert summary.std == pytest.approx(1.0)
+    assert summary.count == 3
+
+
+def test_summarize_empty_and_single():
+    assert summarize([]) == Summary(0.0, 0.0, 0)
+    single = summarize([5.0])
+    assert (single.mean, single.std, single.count) == (5.0, 0.0, 1)
+
+
+def test_summary_ci_contains_mean():
+    summary = summarize([10.0, 12.0, 8.0, 11.0, 9.0])
+    low, high = summary.ci95
+    assert low < summary.mean < high
+
+
+def test_summary_ci_width_shrinks_with_samples():
+    narrow = summarize([10.0, 11.0] * 50)
+    wide = summarize([10.0, 11.0] * 2)
+    assert narrow.ci95_half_width < wide.ci95_half_width
+
+
+def test_summary_str_format():
+    assert str(summarize([10.0, 12.0])) == "11.0/1.4"
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=50))
+def test_summarize_mean_bounded(values):
+    summary = summarize(values)
+    assert min(values) - 1e-6 <= summary.mean <= max(values) + 1e-6
+
+
+def test_linear_fit_exact_line():
+    fit = linear_fit([1, 2, 3, 4], [3, 5, 7, 9])
+    assert fit.slope == pytest.approx(2.0)
+    assert fit.intercept == pytest.approx(1.0)
+    assert fit.r2 == pytest.approx(1.0)
+    assert fit.predict(10) == pytest.approx(21.0)
+
+
+def test_linear_fit_requires_two_points():
+    with pytest.raises(ValueError):
+        linear_fit([1], [1])
+    with pytest.raises(ValueError):
+        linear_fit([1, 2], [1])
+
+
+def test_linearity_r2_penalizes_curvature():
+    xs = list(range(1, 11))
+    linear = [2 * x for x in xs]
+    quadratic = [x * x for x in xs]
+    assert linearity_r2(xs, linear) > linearity_r2(xs, quadratic)
+
+
+def test_r2_constant_series_is_perfect():
+    assert linearity_r2([1, 2, 3], [5, 5, 5]) == pytest.approx(1.0)
+
+
+@given(
+    st.floats(min_value=-100, max_value=100),
+    st.floats(min_value=-100, max_value=100),
+)
+def test_linear_fit_recovers_parameters(slope, intercept):
+    xs = [0.0, 1.0, 2.0, 3.0]
+    ys = [slope * x + intercept for x in xs]
+    fit = linear_fit(xs, ys)
+    assert fit.slope == pytest.approx(slope, abs=1e-6)
+    assert fit.intercept == pytest.approx(intercept, abs=1e-6)
+
+
+def test_linear_fit_degenerate_x():
+    fit = linear_fit([3, 3, 3], [1.0, 2.0, 3.0])
+    assert fit.slope == 0.0
+    assert fit.intercept == pytest.approx(2.0)
+    assert fit.r2 == 0.0
+    flat = linear_fit([3, 3], [5.0, 5.0])
+    assert flat.r2 == 1.0
+
+
+def test_percent_change():
+    assert percent_change(72.0, 54.0) == pytest.approx(-25.0)
+    with pytest.raises(ValueError):
+        percent_change(0.0, 1.0)

@@ -1,0 +1,192 @@
+"""Unit tests for the TCP implementation."""
+
+import pytest
+
+from repro.net.address import Endpoint
+from repro.net.packet import TCP_MSS
+from repro.net.tcp import TcpConnection, TcpListener
+
+
+def open_pair(world, on_message=None, port=443):
+    """Connect client->server; returns (client_conn, listener)."""
+    server_messages = []
+
+    def server_on_message(conn, meta, size, enqueued_at):
+        server_messages.append((meta, size))
+        if on_message is not None:
+            on_message(conn, meta, size, enqueued_at)
+
+    def on_connection(conn):
+        conn.on_message = server_on_message
+
+    listener = TcpListener(world.server, port, on_connection)
+    client = TcpConnection(
+        world.client, 50_000, Endpoint(world.server.ip, port), name="test-client"
+    )
+    client.connect()
+    return client, listener, server_messages
+
+
+def test_handshake_establishes_both_sides(world):
+    client, listener, _ = open_pair(world)
+    world.sim.run(until=2.0)
+    assert client.established
+    server_conn = next(iter(listener.connections.values()))
+    assert server_conn.established
+
+
+def test_message_delivery_preserves_framing(world):
+    client, listener, messages = open_pair(world)
+    client.on_established = lambda c: [
+        c.send_message(10_000, meta=f"m{i}") for i in range(3)
+    ]
+    world.sim.run(until=10.0)
+    assert [(meta, size) for meta, size in messages] == [
+        ("m0", 10_000),
+        ("m1", 10_000),
+        ("m2", 10_000),
+    ]
+
+
+def test_messages_delivered_in_order_across_sizes(world):
+    client, listener, messages = open_pair(world)
+    sizes = [100, 50_000, 1, 1460, 2921]
+    client.on_established = lambda c: [
+        c.send_message(size, meta=index) for index, size in enumerate(sizes)
+    ]
+    world.sim.run(until=20.0)
+    assert [meta for meta, _ in messages] == [0, 1, 2, 3, 4]
+    assert [size for _, size in messages] == sizes
+
+
+def test_all_acked_after_delivery(world):
+    client, listener, _ = open_pair(world)
+    client.on_established = lambda c: c.send_message(30_000, meta="x")
+    world.sim.run(until=10.0)
+    assert client.all_acked
+    assert client.bytes_in_flight == 0
+
+
+def test_srtt_estimated(world):
+    client, listener, _ = open_pair(world)
+    client.on_established = lambda c: c.send_message(5000)
+    world.sim.run(until=10.0)
+    # Path RTT is ~75 ms east-to-west.
+    assert client.srtt == pytest.approx(0.076, rel=0.2)
+
+
+def test_delivery_through_random_loss(world):
+    """All messages arrive, in order, despite 10% loss (retransmission)."""
+    qdisc_rng = world.sim.rng("loss-test")
+    original_send = world.client_up.send
+
+    def lossy_send(packet):
+        if qdisc_rng.random() < 0.10:
+            return
+        original_send(packet)
+
+    world.client_up.send = lossy_send
+    client, listener, messages = open_pair(world)
+    client.on_established = lambda c: [
+        c.send_message(8000, meta=i) for i in range(10)
+    ]
+    world.sim.run(until=60.0)
+    assert [meta for meta, _ in messages] == list(range(10))
+    assert client.retransmissions > 0
+    assert client.all_acked
+
+
+def test_cwnd_grows_during_transfer(world):
+    client, listener, _ = open_pair(world)
+    initial_cwnd = client.cwnd
+    client.on_established = lambda c: c.send_message(200_000)
+    world.sim.run(until=20.0)
+    assert client.cwnd > initial_cwnd
+
+
+def test_rto_collapses_cwnd_on_blackhole(world):
+    client, listener, _ = open_pair(world)
+    world.sim.run(until=1.0)
+    # Black-hole the uplink entirely, then send.
+    world.client_up.send = lambda packet: None
+    client.send_message(20_000)
+    world.sim.run(until=5.0)
+    assert not client.all_acked
+    assert client.cwnd == pytest.approx(TCP_MSS)
+    assert client.retransmissions > 0
+
+
+def test_spurious_rto_restores_cwnd(world):
+    """A pure delay spike must not permanently collapse the window."""
+    client, listener, _ = open_pair(world)
+    client.on_established = lambda c: c.send_message(100_000)
+    world.sim.run(until=10.0)
+    cwnd_before = client.cwnd
+    # Hold all uplink packets for 2 s, then release them in order.
+    held = []
+    original_send = world.client_up.send
+    world.client_up.send = lambda packet: held.append(packet)
+    client.send_message(30_000)
+    world.sim.run(until=world.sim.now + 2.0)
+    world.client_up.send = original_send
+    for packet in held:
+        original_send(packet)
+    world.sim.run(until=world.sim.now + 5.0)
+    assert client.all_acked
+    assert client.cwnd >= cwnd_before * 0.45
+
+
+def test_rto_raised_after_delay_episode(world):
+    client, listener, _ = open_pair(world)
+    client.on_established = lambda c: c.send_message(10_000)
+    world.sim.run(until=5.0)
+    rto_before = client._rto
+    held = []
+    original_send = world.client_up.send
+    world.client_up.send = lambda packet: held.append(packet)
+    client.send_message(10_000)
+    world.sim.run(until=world.sim.now + 3.0)
+    world.client_up.send = original_send
+    for packet in held:
+        original_send(packet)
+    world.sim.run(until=world.sim.now + 5.0)
+    assert client._rto > max(rto_before, 2.0)
+
+
+def test_full_loss_then_recovery(world):
+    """TCP survives a 100% loss episode once the path heals (Sec. 8.1)."""
+    client, listener, _ = open_pair(world)
+    world.sim.run(until=1.0)
+    original_send = world.client_up.send
+    world.client_up.send = lambda packet: None
+    client.send_message(5000, meta="during-blackout")
+    world.sim.run(until=30.0)
+    assert not client.all_acked
+    world.client_up.send = original_send
+    world.sim.run(until=120.0)
+    assert client.all_acked
+
+
+def test_send_message_validation(world):
+    client, _, _ = open_pair(world)
+    with pytest.raises(ValueError):
+        client.send_message(0)
+
+
+def test_listener_tracks_multiple_clients(world):
+    listener = TcpListener(world.server, 8443, lambda conn: None)
+    for port in (41_000, 41_001, 41_002):
+        conn = TcpConnection(world.client, port, Endpoint(world.server.ip, 8443))
+        conn.connect()
+    world.sim.run(until=5.0)
+    assert len(listener.connections) == 3
+
+
+def test_message_markers_acked_flag(world):
+    client, listener, _ = open_pair(world)
+    holder = {}
+    client.on_established = lambda c: holder.update(
+        message=c.send_message(5000, meta="tracked")
+    )
+    world.sim.run(until=10.0)
+    assert holder["message"].acked

@@ -1,0 +1,106 @@
+"""Integration tests: Table 3 and Figs. 2-3 (Sec. 5)."""
+
+import pytest
+
+from repro.measure.throughput import (
+    measure_avatar_throughput,
+    measure_channel_timeline,
+    measure_forwarding_correlation,
+    measure_two_user_throughput,
+)
+
+#: Table 3 bands (mean Kbps): (up_low, up_high, down_low, down_high).
+TABLE3_BANDS = {
+    "vrchat": (25, 40, 25, 40),
+    "altspacevr": (33, 52, 30, 52),
+    "recroom": (33, 52, 33, 52),
+    "hubs": (65, 105, 65, 105),
+    "worlds": (600, 900, 330, 500),
+}
+
+
+@pytest.mark.parametrize("platform", sorted(TABLE3_BANDS))
+def test_two_user_throughput_bands(platform):
+    row = measure_two_user_throughput(platform, duration_s=25.0, seed=3)
+    up_low, up_high, down_low, down_high = TABLE3_BANDS[platform]
+    assert up_low <= row.up_kbps.mean <= up_high, row.up_kbps
+    assert down_low <= row.down_kbps.mean <= down_high, row.down_kbps
+
+
+def test_worlds_throughput_10x_others():
+    """Sec. 5.1: Worlds needs >10x the bandwidth of the low three."""
+    worlds = measure_two_user_throughput("worlds", duration_s=20.0)
+    vrchat = measure_two_user_throughput("vrchat", duration_s=20.0)
+    assert worlds.up_kbps.mean > 10 * vrchat.up_kbps.mean
+
+
+def test_worlds_downlink_below_uplink():
+    """Sec. 5.1: the server keeps/compresses part of each upload."""
+    row = measure_two_user_throughput("worlds", duration_s=20.0)
+    assert row.down_kbps.mean < 0.75 * row.up_kbps.mean
+
+
+def test_symmetric_platforms_up_equals_down():
+    for platform in ("vrchat", "recroom"):
+        row = measure_two_user_throughput(platform, duration_s=20.0)
+        assert row.up_kbps.mean == pytest.approx(row.down_kbps.mean, rel=0.15)
+
+
+@pytest.mark.parametrize(
+    "platform,target",
+    [("vrchat", 24.7), ("recroom", 35.2), ("worlds", 332.0)],
+)
+def test_avatar_separation_matches_table3(platform, target):
+    avatar = measure_avatar_throughput(platform, phase_s=20.0, seed=5)
+    assert avatar.mean == pytest.approx(target, rel=0.20)
+
+
+def test_avatar_data_dominates_throughput():
+    """Sec. 5.2: avatar embodiment+motion is the major traffic share."""
+    row = measure_two_user_throughput("recroom", duration_s=20.0)
+    avatar = measure_avatar_throughput("recroom", phase_s=20.0)
+    assert avatar.mean > 0.5 * row.down_kbps.mean
+
+
+def test_throughput_independent_of_resolution():
+    """Sec. 5.1: AltspaceVR (highest res) ~ Rec Room (lowest res)."""
+    altspace = measure_two_user_throughput("altspacevr", duration_s=20.0)
+    recroom = measure_two_user_throughput("recroom", duration_s=20.0)
+    assert altspace.down_kbps.mean == pytest.approx(
+        recroom.down_kbps.mean, rel=0.35
+    )
+    # Resolutions differ hugely even though throughput does not.
+    assert altspace.resolution == "2016x2224"
+    assert recroom.resolution == "1224x1346"
+
+
+def test_fig2_channels_swap_activity_at_event_join():
+    """Fig. 2: control busy on the welcome page, data during the event."""
+    timeline = measure_channel_timeline("vrchat", welcome_s=40.0, event_s=40.0)
+    half = int(timeline.event_join_at)
+    control_welcome = sum(timeline.control_down_kbps[2:half])
+    control_event = sum(timeline.control_down_kbps[half + 10 :])
+    data_welcome = sum(timeline.data_down_kbps[2:half])
+    data_event = sum(timeline.data_down_kbps[half + 10 :])
+    assert control_welcome > control_event
+    assert data_event > data_welcome
+    assert data_welcome < 5.0  # essentially silent before the event
+
+
+def test_fig2_hubs_both_channels_active_in_event():
+    """Sec. 4.1: Hubs is the exception — HTTPS stays busy during events."""
+    timeline = measure_channel_timeline("hubs", welcome_s=40.0, event_s=60.0)
+    event_start = int(timeline.event_join_at) + 25  # skip the join download
+    data_event = sum(timeline.data_down_kbps[event_start:])
+    assert data_event > 0
+    # Hubs' data channel rides HTTPS + RTP, both visible during events.
+
+
+@pytest.mark.parametrize("platform", ["recroom", "worlds"])
+def test_fig3_u1_uplink_mirrors_u2_downlink(platform):
+    evidence = measure_forwarding_correlation(platform, duration_s=30.0, seed=2)
+    assert evidence.corr > 0.55
+    if platform == "worlds":
+        assert 0.4 < evidence.down_up_ratio < 0.75
+    else:
+        assert evidence.down_up_ratio == pytest.approx(1.0, abs=0.2)

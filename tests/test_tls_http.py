@@ -1,0 +1,171 @@
+"""Unit tests for TLS sessions and HTTPS channels."""
+
+import pytest
+
+from repro.net.address import Endpoint
+from repro.net.http import HttpsClient, HttpsServer
+from repro.net.packet import TLS_RECORD_OVERHEAD
+from repro.net.tcp import TcpConnection, TcpListener
+from repro.net.tls import RECORD_SIZE, TlsSession, record_overhead
+
+
+def test_record_overhead_single_record():
+    assert record_overhead(100) == TLS_RECORD_OVERHEAD
+
+
+def test_record_overhead_multiple_records():
+    assert record_overhead(RECORD_SIZE * 3) == 3 * TLS_RECORD_OVERHEAD
+    assert record_overhead(RECORD_SIZE * 3 + 1) == 4 * TLS_RECORD_OVERHEAD
+
+
+def test_tls_handshake_completes(world):
+    secure = []
+
+    def on_connection(conn):
+        TlsSession(conn, is_client=False, on_secure=lambda s: secure.append("server"))
+
+    TcpListener(world.server, 443, on_connection)
+    client_conn = TcpConnection(world.client, 50_100, Endpoint(world.server.ip, 443))
+    TlsSession(client_conn, is_client=True, on_secure=lambda s: secure.append("client"))
+    client_conn.connect()
+    world.sim.run(until=5.0)
+    assert sorted(secure) == ["client", "server"]
+
+
+def test_tls_application_data_delivered_with_meta(world):
+    got = []
+
+    def on_connection(conn):
+        TlsSession(
+            conn,
+            is_client=False,
+            on_message=lambda s, meta, size, t: got.append((meta, size)),
+        )
+
+    TcpListener(world.server, 443, on_connection)
+    client_conn = TcpConnection(world.client, 50_101, Endpoint(world.server.ip, 443))
+    tls = TlsSession(
+        client_conn,
+        is_client=True,
+        on_secure=lambda s: s.send_application(1000, meta="payload"),
+    )
+    client_conn.connect()
+    world.sim.run(until=5.0)
+    assert got == [("payload", 1000 + TLS_RECORD_OVERHEAD)]
+
+
+def test_tls_send_before_secure_raises(world):
+    client_conn = TcpConnection(world.client, 50_102, Endpoint(world.server.ip, 443))
+    tls = TlsSession(client_conn, is_client=True)
+    with pytest.raises(RuntimeError):
+        tls.send_application(100)
+
+
+def test_https_request_response(world):
+    server = HttpsServer(world.server, 443, responder=lambda n, s, h: 2000)
+    responses = []
+    client = HttpsClient(
+        world.client,
+        50_103,
+        Endpoint(world.server.ip, 443),
+        on_ready=lambda c: c.request(
+            "GET /a", 300, on_response=lambda n, s: responses.append((n, s))
+        ),
+    )
+    client.open()
+    world.sim.run(until=5.0)
+    assert len(responses) == 1
+    name, size = responses[0]
+    assert name == "GET /a"
+    assert size > 2000  # response + HTTP header + TLS records
+
+
+def test_https_response_hint_used_without_responder(world):
+    server = HttpsServer(world.server, 443)
+    responses = []
+    client = HttpsClient(
+        world.client,
+        50_104,
+        Endpoint(world.server.ip, 443),
+        on_ready=lambda c: c.request(
+            "GET /b", 300, response_hint=5_000,
+            on_response=lambda n, s: responses.append(s),
+        ),
+    )
+    client.open()
+    world.sim.run(until=5.0)
+    assert responses and responses[0] >= 5_000
+
+
+def test_https_server_push_reaches_client(world):
+    server = HttpsServer(world.server, 443)
+    pushes = []
+    client = HttpsClient(
+        world.client,
+        50_105,
+        Endpoint(world.server.ip, 443),
+        on_push=lambda name, size, meta, t: pushes.append((name, size, meta)),
+    )
+    client.open()
+    world.sim.run(until=2.0)
+    peer = next(iter(server.channels))
+    assert server.push(peer, "avatar-fwd", 900, meta={"user": "u2"})
+    world.sim.run(until=4.0)
+    assert len(pushes) == 1
+    name, size, meta = pushes[0]
+    assert name == "avatar-fwd"
+    assert meta == {"user": "u2"}
+
+
+def test_https_client_push_reaches_server(world):
+    pushes = []
+    server = HttpsServer(
+        world.server,
+        443,
+        on_push=lambda ch, name, size, meta, t: pushes.append((name, meta)),
+    )
+    client = HttpsClient(world.client, 50_106, Endpoint(world.server.ip, 443))
+    client.open()
+    world.sim.run(until=2.0)
+    client.channel.push("avatar", 900, ("room", "u1"))
+    world.sim.run(until=4.0)
+    assert pushes == [("avatar", ("room", "u1"))]
+
+
+def test_https_server_processing_delay_applied(world):
+    server = HttpsServer(
+        world.server,
+        443,
+        responder=lambda n, s, h: 100,
+        processing_delay=lambda: 0.5,
+    )
+    done = []
+    client = HttpsClient(
+        world.client,
+        50_107,
+        Endpoint(world.server.ip, 443),
+        on_ready=lambda c: c.request(
+            "x", 100, on_response=lambda n, s: done.append(world.sim.now)
+        ),
+    )
+    client.open()
+    world.sim.run(until=5.0)
+    assert done and done[0] > 0.5
+
+
+def test_https_multiple_clients(world):
+    server = HttpsServer(world.server, 443, responder=lambda n, s, h: 64)
+    responses = []
+    for index in range(3):
+        client = HttpsClient(
+            world.client,
+            50_110 + index,
+            Endpoint(world.server.ip, 443),
+            on_ready=lambda c: c.request(
+                "ping", 64, on_response=lambda n, s: responses.append(n)
+            ),
+        )
+        client.open()
+    world.sim.run(until=5.0)
+    assert len(responses) == 3
+    assert len(server.channels) == 3

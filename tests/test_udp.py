@@ -1,0 +1,107 @@
+"""Unit tests for UDP sockets and fragmentation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.address import Endpoint
+from repro.net.udp import MAX_FRAGMENT, UdpSocket, _fragment_sizes
+
+
+def test_basic_datagram_delivery(world):
+    got = []
+    UdpSocket(world.server, 9000, on_datagram=lambda s, n, p: got.append((s, n, p)))
+    client_socket = UdpSocket(world.client, 9001)
+    client_socket.send_to(Endpoint(world.server.ip, 9000), 500, payload="hello")
+    world.sim.run(until=2.0)
+    assert len(got) == 1
+    src, size, payload = got[0]
+    assert size == 500
+    assert payload == "hello"
+    assert src == Endpoint(world.client.ip, 9001)
+
+
+def test_counters(world):
+    received = []
+    server_socket = UdpSocket(
+        world.server, 9000, on_datagram=lambda s, n, p: received.append(n)
+    )
+    client_socket = UdpSocket(world.client, 9001)
+    for _ in range(5):
+        client_socket.send_to(Endpoint(world.server.ip, 9000), 200)
+    world.sim.run(until=2.0)
+    assert client_socket.sent_datagrams == 5
+    assert client_socket.sent_bytes == 1000
+    assert server_socket.received_datagrams == 5
+    assert server_socket.received_bytes == 1000
+
+
+def test_large_datagram_fragmented_and_reassembled(world):
+    got = []
+    UdpSocket(world.server, 9000, on_datagram=lambda s, n, p: got.append((n, p)))
+    client_socket = UdpSocket(world.client, 9001)
+    packets = client_socket.send_to(
+        Endpoint(world.server.ip, 9000), 5000, payload="big"
+    )
+    assert packets == 4  # 5000 B over 1472 B fragments
+    world.sim.run(until=2.0)
+    assert got == [(5000, "big")]  # delivered exactly once, full size
+
+
+def test_fragment_sizes_cover_payload():
+    sizes = _fragment_sizes(5000)
+    assert sum(sizes) == 5000
+    assert all(size <= MAX_FRAGMENT for size in sizes)
+
+
+@given(st.integers(min_value=1, max_value=100_000))
+def test_fragment_sizes_property(payload):
+    sizes = _fragment_sizes(payload)
+    assert sum(sizes) == payload
+    assert all(0 < size <= MAX_FRAGMENT for size in sizes)
+    # All fragments except the last are full-size.
+    assert all(size == MAX_FRAGMENT for size in sizes[:-1])
+
+
+def test_lost_fragment_loses_datagram(world):
+    got = []
+    UdpSocket(world.server, 9000, on_datagram=lambda s, n, p: got.append(n))
+    client_socket = UdpSocket(world.client, 9001)
+    # Drop everything on the uplink after the first fragment.
+    sent = {"count": 0}
+    original_send = world.client_up.send
+
+    def lossy_send(packet):
+        sent["count"] += 1
+        if sent["count"] == 2:
+            return  # drop the second fragment
+        original_send(packet)
+
+    world.client_up.send = lossy_send
+    client_socket.send_to(Endpoint(world.server.ip, 9000), 4000)
+    world.sim.run(until=2.0)
+    assert got == []
+
+
+def test_closed_socket_rejects_send(world):
+    socket = UdpSocket(world.client, 9001)
+    socket.close()
+    with pytest.raises(RuntimeError):
+        socket.send_to(Endpoint(world.server.ip, 9000), 100)
+
+
+def test_send_requires_positive_payload(world):
+    socket = UdpSocket(world.client, 9001)
+    with pytest.raises(ValueError):
+        socket.send_to(Endpoint(world.server.ip, 9000), 0)
+
+
+def test_port_rebinding_after_close(world):
+    socket = UdpSocket(world.client, 9001)
+    socket.close()
+    UdpSocket(world.client, 9001)  # must not raise
+
+
+def test_duplicate_bind_rejected(world):
+    UdpSocket(world.client, 9001)
+    with pytest.raises(ValueError):
+        UdpSocket(world.client, 9001)
