@@ -8,6 +8,8 @@ Usage::
     python -m repro fig7 --platforms worlds hubs
     python -m repro disruption --experiment tcp
     python -m repro export-pcap --platform vrchat --output capture.pcap
+    python -m repro campaign --experiments throughput forwarding \\
+        --seeds 0:20 --workers 4 --telemetry campaign.jsonl
 """
 
 from __future__ import annotations
@@ -88,6 +90,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiments", help="list every registered experiment"
     )
     experiments.set_defaults(handler=_cmd_experiments)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run an experiment matrix in parallel with caching + telemetry",
+    )
+    campaign.add_argument(
+        "--experiments",
+        nargs="+",
+        required=True,
+        help="registry names, or 'all' for every registered experiment",
+    )
+    campaign.add_argument(
+        "--seeds",
+        default="1",
+        help="seed range: a count N (seeds 0..N-1) or an A:B half-open range",
+    )
+    campaign.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE[,VALUE...]",
+        help="grid axis: a JSON list of grid points or comma-separated "
+        "scalars; nest lists for list-valued params, e.g. "
+        "'platforms=[[\"vrchat\"],[\"worlds\"]]' (repeat the flag for "
+        "more axes; an axis only applies to experiments accepting it)",
+    )
+    campaign.add_argument("--workers", type=int, default=None)
+    campaign.add_argument(
+        "--serial", action="store_true", help="run in-process, in plan order"
+    )
+    campaign.add_argument("--timeout", type=float, default=None, metavar="SECONDS")
+    campaign.add_argument("--retries", type=int, default=2)
+    campaign.add_argument("--cache-dir", default=".repro-cache")
+    campaign.add_argument(
+        "--no-cache", action="store_true", help="always execute; never read or write the cache"
+    )
+    campaign.add_argument(
+        "--telemetry", default=None, metavar="PATH", help="append JSONL events here"
+    )
+    campaign.set_defaults(handler=_cmd_campaign)
 
     report = sub.add_parser(
         "report", help="run the findings bundle and print the report card"
@@ -346,6 +388,105 @@ def _cmd_experiments(args) -> int:
     ]
     print(render_table(["Name", "Artifact", "Description"], rows))
     return 0
+
+
+def _parse_seeds(text: str) -> list:
+    """``'20'`` -> seeds 0..19; ``'5:8'`` -> seeds 5,6,7."""
+    if ":" in text:
+        start, _, stop = text.partition(":")
+        seeds = list(range(int(start), int(stop)))
+    else:
+        seeds = list(range(int(text)))
+    if not seeds:
+        print(f"--seeds {text!r} selects no seeds", file=sys.stderr)
+        raise SystemExit(2)
+    return seeds
+
+
+def _parse_grid(params: typing.Sequence[str]) -> dict:
+    """``NAME=V1,V2`` flags into a grid mapping; values JSON when possible."""
+    import json
+
+    def parse_value(raw: str):
+        try:
+            return json.loads(raw)
+        except ValueError:
+            return raw
+
+    grid = {}
+    for item in params:
+        name, sep, raw = item.partition("=")
+        if not sep or not name:
+            print(
+                f"--param expects NAME=VALUE[,VALUE...], got {item!r}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        parsed = parse_value(raw)
+        if isinstance(parsed, list):
+            grid[name] = parsed
+        elif "," in raw:
+            grid[name] = [parse_value(part) for part in raw.split(",")]
+        else:
+            grid[name] = [parsed]
+    return grid
+
+
+def _cmd_campaign(args) -> int:
+    from .measure.experiment import registry
+    from .runner import CampaignPlan, run_campaign
+
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = list(registry())
+    try:
+        plan = CampaignPlan.from_matrix(
+            names, grid=_parse_grid(args.param), seeds=_parse_seeds(args.seeds)
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(f"Running {plan.describe()}...")
+    campaign = run_campaign(
+        plan,
+        parallel=not args.serial,
+        max_workers=args.workers,
+        timeout_s=args.timeout,
+        max_retries=args.retries,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        use_cache=not args.no_cache,
+        telemetry_path=args.telemetry,
+    )
+    rows = []
+    for name in plan.experiments:
+        per = [r for r in campaign if r.spec.experiment == name]
+        executed = [r for r in per if not r.from_cache]
+        mean_wall = (
+            sum(r.wall_time_s for r in executed) / len(executed) if executed else 0.0
+        )
+        rows.append(
+            [
+                name,
+                len(per),
+                sum(1 for r in per if r.ok),
+                sum(1 for r in per if not r.ok),
+                sum(1 for r in per if r.from_cache),
+                f"{mean_wall:.2f}",
+            ]
+        )
+    print(
+        render_table(
+            ["Experiment", "Tasks", "OK", "Failed", "Cached", "Mean task (s)"],
+            rows,
+        )
+    )
+    print()
+    print(campaign.summary.render())
+    for failure in campaign.failures:
+        print(f"FAILED {failure.spec.task_id}: {failure.error}", file=sys.stderr)
+    if args.telemetry:
+        print(f"\n[telemetry appended to {args.telemetry}]")
+    return 0 if campaign.ok else 1
 
 
 def _cmd_report(args) -> int:

@@ -192,6 +192,34 @@ def get_experiment(name: str) -> ExperimentSpec:
         raise KeyError(f"unknown experiment {name!r}; choose from: {known}") from None
 
 
+def register_experiment(
+    name: str,
+    runner: typing.Callable,
+    artifact: str = "custom",
+    description: str = "",
+    default_kwargs: typing.Optional[typing.Mapping] = None,
+    replace: bool = False,
+) -> ExperimentSpec:
+    """Register an extra experiment (notebook one-offs, campaign stubs).
+
+    Registered experiments are first-class: the CLI lists them and the
+    campaign runner can execute them by name.  Workers forked by the
+    runner inherit dynamic registrations.
+    """
+    if not replace and name in registry():
+        raise ValueError(f"experiment {name!r} already registered")
+    spec = ExperimentSpec(
+        name, artifact, description, runner, dict(default_kwargs or {})
+    )
+    registry()[name] = spec
+    return spec
+
+
+def unregister_experiment(name: str) -> None:
+    """Remove a dynamically registered experiment (no-op if absent)."""
+    registry().pop(name, None)
+
+
 def run_experiment(name: str, **kwargs):
     """Run one experiment by name with optional overrides."""
     return get_experiment(name).run(**kwargs)

@@ -1,0 +1,177 @@
+"""repro.runner — parallel campaign execution with caching + telemetry.
+
+The paper averages every table over "more than 20 experiments"
+(Sec. 3.2) and sketches crowd-sourced many-site campaigns (Sec. 9).
+This package is that campaign layer for the reproduction: expand an
+experiment matrix into tasks (:mod:`.plan`), execute them over a
+process pool with retries, timeouts and crash isolation
+(:mod:`.executor`), skip everything already computed via a
+content-addressed on-disk cache (:mod:`.cache`), and narrate the whole
+run as structured JSONL events (:mod:`.telemetry`).
+
+Quickstart::
+
+    from repro.runner import CampaignPlan, run_campaign
+
+    plan = CampaignPlan.from_matrix(
+        ["throughput", "forwarding"],
+        grid={"platforms": [("vrchat",), ("worlds",)]},
+        seeds=range(10),
+    )
+    campaign = run_campaign(plan, max_workers=4, cache_dir=".repro-cache")
+    print(campaign.summary.render())
+
+Parallel execution is deterministic: per-task results are bit-identical
+to a serial run of the same plan, because every task owns its seed and
+no state is shared between tasks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import typing
+
+from .cache import ResultCache
+from .executor import CampaignExecutor, TaskResult
+from .plan import CampaignPlan, TaskSpec, experiment_accepts_seed
+from .telemetry import CampaignSummary, TelemetryWriter
+
+__all__ = [
+    "CampaignPlan",
+    "CampaignResult",
+    "CampaignSummary",
+    "CampaignExecutor",
+    "ResultCache",
+    "TaskResult",
+    "TaskSpec",
+    "TelemetryWriter",
+    "experiment_accepts_seed",
+    "run_campaign",
+]
+
+#: Default on-disk cache location (gitignored).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@dataclasses.dataclass
+class CampaignResult:
+    """Everything a finished campaign produced, in plan order."""
+
+    task_results: typing.List[TaskResult]
+    summary: CampaignSummary
+    events: typing.List[dict]
+
+    @property
+    def ok(self) -> bool:
+        return self.summary.ok
+
+    @property
+    def failures(self) -> typing.List[TaskResult]:
+        return [r for r in self.task_results if not r.ok]
+
+    def values(self) -> typing.List[typing.Any]:
+        """Per-task result values, in plan order (``None`` for failures)."""
+        return [r.value for r in self.task_results]
+
+    def value_for(self, spec: TaskSpec) -> typing.Any:
+        for result in self.task_results:
+            if result.spec == spec:
+                return result.value
+        raise KeyError(f"no result for task {spec.task_id}")
+
+    def __len__(self) -> int:
+        return len(self.task_results)
+
+    def __iter__(self) -> typing.Iterator[TaskResult]:
+        return iter(self.task_results)
+
+
+def run_campaign(
+    plan: typing.Union[CampaignPlan, typing.Iterable[TaskSpec]],
+    *,
+    parallel: bool = True,
+    max_workers: typing.Optional[int] = None,
+    timeout_s: typing.Optional[float] = None,
+    max_retries: int = 2,
+    backoff_s: float = 0.05,
+    cache_dir: typing.Optional[str] = None,
+    use_cache: bool = True,
+    telemetry: typing.Optional[TelemetryWriter] = None,
+    telemetry_path: typing.Optional[str] = None,
+) -> CampaignResult:
+    """Run every task of ``plan``, reusing cached results for the delta.
+
+    ``cache_dir=None`` disables the cache entirely (as does
+    ``use_cache=False`` — the CLI's ``--no-cache``); with a cache, a
+    re-run of an unchanged plan performs zero task executions.  Failed
+    tasks are retried ``max_retries`` times and then recorded as
+    failures without aborting the campaign; inspect
+    ``result.failures`` or ``result.summary.ok``.
+    """
+    tasks = list(plan)
+    own_telemetry = telemetry is None
+    if telemetry is None:
+        telemetry = TelemetryWriter(telemetry_path)
+    cache = None
+    if use_cache and cache_dir is not None:
+        cache = ResultCache(cache_dir)
+    started = time.monotonic()
+    telemetry.emit(
+        "campaign_start",
+        n_tasks=len(tasks),
+        parallel=parallel,
+        max_workers=max_workers,
+        cache_dir=getattr(cache, "root", None),
+    )
+
+    results: typing.List[typing.Optional[TaskResult]] = [None] * len(tasks)
+    to_run: typing.List[typing.Tuple[int, TaskSpec]] = []
+    for index, task in enumerate(tasks):
+        if cache is not None:
+            hit, value = cache.lookup(task)
+            if hit:
+                results[index] = TaskResult(
+                    task, "ok", value=value, attempts=0, from_cache=True
+                )
+                telemetry.emit(
+                    "cache_hit",
+                    task=task.task_id,
+                    experiment=task.experiment,
+                    seed=task.seed,
+                )
+                continue
+        to_run.append((index, task))
+
+    executor = CampaignExecutor(
+        max_workers=max_workers,
+        timeout_s=timeout_s,
+        max_retries=max_retries,
+        backoff_s=backoff_s,
+    )
+    if to_run:
+        specs = [task for _, task in to_run]
+        if parallel:
+            executed = executor.run(specs, telemetry)
+        else:
+            executed = executor.run_serial(specs, telemetry)
+        for (index, _), task_result in zip(to_run, executed):
+            results[index] = task_result
+            if cache is not None and task_result.ok:
+                cache.put(task_result.spec, task_result.value, task_result.wall_time_s)
+
+    final = typing.cast(typing.List[TaskResult], results)
+    summary = CampaignSummary(
+        n_tasks=len(tasks),
+        executed=sum(1 for r in final if not r.from_cache),
+        cache_hits=sum(1 for r in final if r.from_cache),
+        succeeded=sum(1 for r in final if r.ok),
+        failed=sum(1 for r in final if not r.ok),
+        retries=executor.retries,
+        wall_time_s=time.monotonic() - started,
+        task_time_s=sum(r.wall_time_s for r in final),
+    )
+    telemetry.emit("campaign_end", **summary.as_dict())
+    if own_telemetry:
+        telemetry.close()
+    return CampaignResult(final, summary, telemetry.events)

@@ -1,0 +1,125 @@
+"""On-disk, content-addressed result cache for campaign tasks.
+
+Re-running a campaign should only execute the delta: each task's
+result is stored under the sha256 of its canonical identity
+(experiment name, canonicalized kwargs, seed — see
+:meth:`repro.runner.plan.TaskSpec.cache_key`), so an unchanged task
+resolves to the same file forever and a changed parameter misses
+cleanly.  Entries are a pickle payload plus a small JSON sidecar with
+provenance (task identity, store time, wall time of the original run)
+so the cache directory is inspectable without unpickling anything.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pickle
+import time
+import typing
+
+from .plan import TaskSpec
+
+#: Sentinel distinguishing "cached None" from "not cached".
+_MISS = object()
+
+
+@dataclasses.dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+class ResultCache:
+    """Directory of ``<digest>.pkl`` results keyed by task identity."""
+
+    def __init__(self, root: typing.Union[str, os.PathLike]) -> None:
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.stats = CacheStats()
+
+    # -- paths ---------------------------------------------------------
+    def path_for(self, task: TaskSpec) -> str:
+        digest = task.cache_key()
+        return os.path.join(self.root, digest[:2], digest + ".pkl")
+
+    def meta_path_for(self, task: TaskSpec) -> str:
+        return self.path_for(task)[: -len(".pkl")] + ".json"
+
+    # -- operations ----------------------------------------------------
+    def contains(self, task: TaskSpec) -> bool:
+        return os.path.exists(self.path_for(task))
+
+    def get(self, task: TaskSpec, default: typing.Any = None) -> typing.Any:
+        value = self._load(task)
+        if value is _MISS:
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        return value
+
+    def lookup(self, task: TaskSpec) -> typing.Tuple[bool, typing.Any]:
+        """``(hit, value)`` — usable even when ``None`` is a valid result."""
+        value = self._load(task)
+        if value is _MISS:
+            self.stats.misses += 1
+            return False, None
+        self.stats.hits += 1
+        return True, value
+
+    def put(
+        self,
+        task: TaskSpec,
+        result: typing.Any,
+        wall_time_s: typing.Optional[float] = None,
+    ) -> str:
+        path = self.path_for(task)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        # Write-then-rename so a crashed writer never leaves a torn
+        # entry that a later campaign would half-read.
+        tmp = path + f".tmp.{os.getpid()}"
+        with open(tmp, "wb") as handle:
+            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        meta = {
+            "experiment": task.experiment,
+            "kwargs": {k: repr(v) for k, v in task.kwargs},
+            "seed": task.seed,
+            "stored_at": time.time(),
+            "wall_time_s": wall_time_s,
+            "result_type": type(result).__name__,
+        }
+        with open(self.meta_path_for(task), "w") as handle:
+            json.dump(meta, handle, sort_keys=True)
+        self.stats.stores += 1
+        return path
+
+    def _load(self, task: TaskSpec) -> typing.Any:
+        path = self.path_for(task)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return _MISS
+        except Exception:
+            # A torn or unreadable entry is a miss, not an error — the
+            # task simply re-executes and overwrites it.
+            return _MISS
+
+    def invalidate(self, task: TaskSpec) -> bool:
+        removed = False
+        for path in (self.path_for(task), self.meta_path_for(task)):
+            try:
+                os.remove(path)
+                removed = True
+            except FileNotFoundError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        count = 0
+        for _, _, files in os.walk(self.root):
+            count += sum(1 for f in files if f.endswith(".pkl"))
+        return count

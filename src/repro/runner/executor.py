@@ -1,0 +1,380 @@
+"""Parallel campaign execution on a process pool.
+
+Design constraints, in order:
+
+1. **Determinism** — a task is ``(experiment, kwargs, seed)`` and owns
+   its entire RNG state, so its result is identical whether it runs in
+   this process, a worker, or another machine.  The executor therefore
+   never shares state between tasks; parallelism only reorders *when*
+   tasks run, never *what* they compute.
+2. **Fault isolation** — a task that raises is retried with exponential
+   backoff up to ``max_retries`` times; a task that kills its worker
+   (segfault, ``os._exit``) breaks the pool, which is rebuilt and the
+   collateral in-flight tasks rescheduled; a task that hangs past
+   ``timeout_s`` has its pool torn down (the only way to reclaim a
+   wedged ``ProcessPoolExecutor`` worker) and is charged a failed
+   attempt while innocent in-flight tasks are requeued uncharged.
+3. **Telemetry** — every scheduling decision emits a structured event.
+
+A note on crash attribution: when a worker dies, CPython fails *every*
+in-flight future with ``BrokenProcessPool`` without saying which task
+was on the dead worker, so all of them are charged an attempt.  With
+the default ``max_retries=2`` a single crash never dooms an innocent
+neighbour.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import math
+import multiprocessing
+import os
+import time
+import typing
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+
+from .plan import TaskSpec
+from .telemetry import TelemetryWriter
+
+
+@dataclasses.dataclass(frozen=True)
+class _WorkerReply:
+    """What a worker sends back: the result plus its own accounting."""
+
+    worker_pid: int
+    wall_time_s: float
+    result: typing.Any
+
+
+def _execute_in_worker(spec: TaskSpec) -> _WorkerReply:
+    """Module-level so it pickles by reference into worker processes."""
+    started = time.perf_counter()
+    result = spec.execute()
+    return _WorkerReply(os.getpid(), time.perf_counter() - started, result)
+
+
+@dataclasses.dataclass
+class TaskResult:
+    """Terminal state of one task within a campaign."""
+
+    spec: TaskSpec
+    status: str  # "ok" | "failed"
+    value: typing.Any = None
+    error: typing.Optional[str] = None
+    attempts: int = 1
+    wall_time_s: float = 0.0
+    from_cache: bool = False
+    worker_pid: typing.Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclasses.dataclass
+class _Attempt:
+    index: int
+    spec: TaskSpec
+    attempt: int = 1
+    not_before: float = 0.0
+
+
+class CampaignExecutor:
+    """Runs task lists over a worker pool with retries and timeouts."""
+
+    def __init__(
+        self,
+        max_workers: typing.Optional[int] = None,
+        timeout_s: typing.Optional[float] = None,
+        max_retries: int = 2,
+        backoff_s: float = 0.05,
+        poll_interval_s: float = 0.05,
+        start_method: typing.Optional[str] = None,
+    ) -> None:
+        self.max_workers = max_workers or (os.cpu_count() or 2)
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.poll_interval_s = poll_interval_s
+        if start_method is None:
+            # fork keeps dynamically registered experiments (test stubs,
+            # notebook one-offs) visible in workers; fall back where the
+            # platform has no fork.
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else available[0]
+        self.start_method = start_method
+        self.retries = 0  # total retry events across the last run
+
+    # ------------------------------------------------------------------
+    # Serial reference path
+    # ------------------------------------------------------------------
+    def run_serial(
+        self,
+        tasks: typing.Sequence[TaskSpec],
+        telemetry: TelemetryWriter,
+    ) -> typing.List[TaskResult]:
+        """Execute in order, in-process — the reference the parallel
+        path must reproduce bit-for-bit (same retry policy, no
+        timeout enforcement: there is no worker to reclaim)."""
+        self.retries = 0
+        results = []
+        for spec in tasks:
+            attempt = 1
+            while True:
+                telemetry.emit(
+                    "task_start",
+                    task=spec.task_id,
+                    experiment=spec.experiment,
+                    seed=spec.seed,
+                    attempt=attempt,
+                )
+                started = time.perf_counter()
+                try:
+                    value = spec.execute()
+                except Exception as exc:  # noqa: BLE001 - task code is arbitrary
+                    reason = f"{type(exc).__name__}: {exc}"
+                    if attempt <= self.max_retries:
+                        backoff = self._backoff(attempt)
+                        telemetry.emit(
+                            "task_retry",
+                            task=spec.task_id,
+                            reason=reason,
+                            attempt=attempt,
+                            backoff_s=backoff,
+                        )
+                        self.retries += 1
+                        time.sleep(backoff)
+                        attempt += 1
+                        continue
+                    telemetry.emit(
+                        "task_fail", task=spec.task_id, reason=reason, attempts=attempt
+                    )
+                    results.append(
+                        TaskResult(
+                            spec, "failed", error=reason, attempts=attempt,
+                            wall_time_s=time.perf_counter() - started,
+                        )
+                    )
+                    break
+                wall = time.perf_counter() - started
+                telemetry.emit(
+                    "task_end",
+                    task=spec.task_id,
+                    status="ok",
+                    wall_time_s=round(wall, 6),
+                    worker_pid=os.getpid(),
+                    attempt=attempt,
+                )
+                results.append(
+                    TaskResult(
+                        spec, "ok", value=value, attempts=attempt,
+                        wall_time_s=wall, worker_pid=os.getpid(),
+                    )
+                )
+                break
+        return results
+
+    # ------------------------------------------------------------------
+    # Parallel path
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        tasks: typing.Sequence[TaskSpec],
+        telemetry: TelemetryWriter,
+    ) -> typing.List[TaskResult]:
+        self.retries = 0
+        pending: typing.Deque[_Attempt] = collections.deque(
+            _Attempt(index, spec) for index, spec in enumerate(tasks)
+        )
+        inflight: typing.Dict[typing.Any, typing.Tuple[_Attempt, float]] = {}
+        results: typing.Dict[int, TaskResult] = {}
+        pool = self._new_pool()
+        try:
+            while len(results) < len(tasks):
+                now = time.monotonic()
+                if not self._submit_ready(pool, pending, inflight, telemetry, now):
+                    # The pool broke while submitting; drain whatever was
+                    # in flight through normal bookkeeping and rebuild.
+                    finished, unresolved = wait(set(inflight), timeout=5.0)
+                    for future in finished:
+                        attempt, _deadline = inflight.pop(future)
+                        self._collect(future, attempt, results, pending, telemetry)
+                    for future in unresolved:  # pragma: no cover - defensive
+                        attempt, _deadline = inflight.pop(future)
+                        pending.append(attempt)
+                    pool.shutdown(wait=False)
+                    pool = self._new_pool()
+                    continue
+                if not inflight:
+                    # Everything runnable is backing off; sleep to the
+                    # earliest release.
+                    wake = min(att.not_before for att in pending)
+                    time.sleep(max(0.0, min(wake - now, 0.25)) or 0.005)
+                    continue
+                done, _ = wait(
+                    set(inflight), timeout=self.poll_interval_s,
+                    return_when=FIRST_COMPLETED,
+                )
+                broken = False
+                for future in done:
+                    attempt, _deadline = inflight.pop(future)
+                    broken |= self._collect(future, attempt, results, pending, telemetry)
+                if broken:
+                    # Every surviving in-flight future is already (or is
+                    # about to be) failed with BrokenProcessPool; drain
+                    # them through the same bookkeeping, then rebuild.
+                    finished, unresolved = wait(set(inflight), timeout=5.0)
+                    for future in finished:
+                        attempt, _deadline = inflight.pop(future)
+                        self._collect(future, attempt, results, pending, telemetry)
+                    for future in unresolved:  # pragma: no cover - defensive
+                        attempt, _deadline = inflight.pop(future)
+                        pending.append(attempt)
+                    pool.shutdown(wait=False)
+                    pool = self._new_pool()
+                    continue
+                timed_out = [
+                    (future, pair)
+                    for future, pair in inflight.items()
+                    if time.monotonic() > pair[1] and not future.done()
+                ]
+                if timed_out:
+                    # A wedged worker cannot be reclaimed through the
+                    # pool API; tear the pool down, charge the culprits,
+                    # and requeue the innocents without charging them.
+                    culprits = {future for future, _ in timed_out}
+                    for future, (attempt, _deadline) in list(inflight.items()):
+                        del inflight[future]
+                        if future in culprits:
+                            self._handle_failure(
+                                attempt,
+                                f"timeout after {self.timeout_s}s",
+                                results,
+                                pending,
+                                telemetry,
+                            )
+                        elif future.done():
+                            self._collect(future, attempt, results, pending, telemetry)
+                        else:
+                            telemetry.emit(
+                                "task_retry",
+                                task=attempt.spec.task_id,
+                                reason="requeued: pool reset by a timed-out neighbour",
+                                attempt=attempt.attempt,
+                                backoff_s=0.0,
+                            )
+                            pending.append(attempt)
+                    self._terminate_pool(pool)
+                    pool = self._new_pool()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return [results[index] for index in range(len(tasks))]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _new_pool(self) -> ProcessPoolExecutor:
+        context = multiprocessing.get_context(self.start_method)
+        return ProcessPoolExecutor(max_workers=self.max_workers, mp_context=context)
+
+    def _submit_ready(self, pool, pending, inflight, telemetry, now) -> bool:
+        """Top up the in-flight window; False if the pool broke mid-submit."""
+        deadline = now + self.timeout_s if self.timeout_s else math.inf
+        blocked: typing.List[_Attempt] = []
+        healthy = True
+        while healthy and pending and len(inflight) < self.max_workers:
+            attempt = pending.popleft()
+            if attempt.not_before > now:
+                blocked.append(attempt)
+                continue
+            try:
+                future = pool.submit(_execute_in_worker, attempt.spec)
+            except Exception:  # BrokenProcessPool or shutdown race
+                pending.appendleft(attempt)
+                healthy = False
+                break
+            telemetry.emit(
+                "task_start",
+                task=attempt.spec.task_id,
+                experiment=attempt.spec.experiment,
+                seed=attempt.spec.seed,
+                attempt=attempt.attempt,
+            )
+            inflight[future] = (attempt, deadline)
+        pending.extend(blocked)
+        return healthy
+
+    def _collect(self, future, attempt, results, pending, telemetry) -> bool:
+        """Fold one finished future into results; True if the pool broke."""
+        try:
+            reply = future.result(timeout=0)
+        except BrokenProcessPool:
+            self._handle_failure(
+                attempt, "worker-crash: process pool broken", results, pending,
+                telemetry,
+            )
+            return True
+        except Exception as exc:  # noqa: BLE001 - task exceptions are data here
+            self._handle_failure(
+                attempt, f"{type(exc).__name__}: {exc}", results, pending, telemetry
+            )
+            return False
+        telemetry.emit(
+            "task_end",
+            task=attempt.spec.task_id,
+            status="ok",
+            wall_time_s=round(reply.wall_time_s, 6),
+            worker_pid=reply.worker_pid,
+            attempt=attempt.attempt,
+        )
+        results[attempt.index] = TaskResult(
+            attempt.spec,
+            "ok",
+            value=reply.result,
+            attempts=attempt.attempt,
+            wall_time_s=reply.wall_time_s,
+            worker_pid=reply.worker_pid,
+        )
+        return False
+
+    def _handle_failure(self, attempt, reason, results, pending, telemetry) -> None:
+        if attempt.attempt <= self.max_retries:
+            backoff = self._backoff(attempt.attempt)
+            telemetry.emit(
+                "task_retry",
+                task=attempt.spec.task_id,
+                reason=reason,
+                attempt=attempt.attempt,
+                backoff_s=backoff,
+            )
+            self.retries += 1
+            attempt.attempt += 1
+            attempt.not_before = time.monotonic() + backoff
+            pending.append(attempt)
+            return
+        telemetry.emit(
+            "task_fail",
+            task=attempt.spec.task_id,
+            reason=reason,
+            attempts=attempt.attempt,
+        )
+        results[attempt.index] = TaskResult(
+            attempt.spec, "failed", error=reason, attempts=attempt.attempt
+        )
+
+    def _backoff(self, attempt: int) -> float:
+        return self.backoff_s * (2 ** (attempt - 1))
+
+    @staticmethod
+    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+        processes = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - last resort
+                process.kill()

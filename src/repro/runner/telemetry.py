@@ -1,0 +1,111 @@
+"""Structured campaign telemetry: JSONL progress events + summary.
+
+Every campaign emits a stream of flat JSON events (one per line) that
+downstream tooling can tail, plot, or assert on — the same shape
+continuous measurement systems use for long-running capture campaigns.
+Event vocabulary:
+
+``campaign_start``  n_tasks, max_workers, parallel, cache_dir
+``cache_hit``       task, experiment, seed
+``task_start``      task, experiment, seed, attempt, worker hint
+``task_end``        task, status="ok", wall_time_s, worker_pid, attempt
+``task_retry``      task, reason, attempt, backoff_s
+``task_fail``       task, reason, attempts
+``campaign_end``    the :class:`CampaignSummary` fields
+
+Events always also accumulate in memory (``TelemetryWriter.events``),
+so tests and notebooks can assert on them without touching the
+filesystem; passing a path additionally appends each event as JSONL.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+import typing
+
+
+class TelemetryWriter:
+    """Collects events in memory and optionally appends JSONL to a file."""
+
+    def __init__(
+        self,
+        path: typing.Optional[str] = None,
+        clock: typing.Callable[[], float] = time.time,
+    ) -> None:
+        self.path = path
+        self.events: typing.List[dict] = []
+        self._clock = clock
+        self._handle = open(path, "a") if path else None
+
+    def emit(self, event: str, **fields) -> dict:
+        record = {"ts": round(self._clock(), 6), "event": event}
+        record.update(fields)
+        self.events.append(record)
+        if self._handle is not None:
+            self._handle.write(json.dumps(record, sort_keys=False) + "\n")
+            self._handle.flush()
+        return record
+
+    def count(self, event: str) -> int:
+        return sum(1 for record in self.events if record["event"] == event)
+
+    def select(self, event: str) -> typing.List[dict]:
+        return [record for record in self.events if record["event"] == event]
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TelemetryWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclasses.dataclass
+class CampaignSummary:
+    """End-of-campaign accounting, also emitted as ``campaign_end``."""
+
+    n_tasks: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    retries: int = 0
+    wall_time_s: float = 0.0
+    task_time_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0
+
+    @property
+    def speedup(self) -> float:
+        """Aggregate task time over campaign wall time (>1 under
+        parallelism; cache hits contribute zero task time)."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.task_time_s / self.wall_time_s
+
+    def as_dict(self) -> dict:
+        fields = dataclasses.asdict(self)
+        fields["ok"] = self.ok
+        return fields
+
+    def render(self) -> str:
+        lines = [
+            f"tasks      : {self.n_tasks}",
+            f"executed   : {self.executed}",
+            f"cache hits : {self.cache_hits}",
+            f"succeeded  : {self.succeeded}",
+            f"failed     : {self.failed}",
+            f"retries    : {self.retries}",
+            f"wall time  : {self.wall_time_s:.2f} s "
+            f"(task time {self.task_time_s:.2f} s, "
+            f"speedup x{self.speedup:.1f})",
+        ]
+        return "\n".join(lines)

@@ -54,6 +54,50 @@ def test_repeat_validation():
         repeat(fake_experiment, n_runs=0)
     with pytest.raises(TypeError):
         repeat(fake_experiment, n_runs=1, fields=["label"])
+    with pytest.raises(ValueError):
+        repeat(fake_experiment, n_runs=1, fields=[])
+
+
+@dataclasses.dataclass
+class TextOnlyResult:
+    label: str
+
+
+def text_only_experiment(seed: int = 0) -> TextOnlyResult:
+    return TextOnlyResult(label=f"run-{seed}")
+
+
+def test_repeat_rejects_results_with_no_numeric_fields():
+    with pytest.raises(ValueError, match="no numeric"):
+        repeat(text_only_experiment, n_runs=2)
+
+
+def test_repeat_single_run_yields_degenerate_summary():
+    result = repeat(fake_experiment, n_runs=1, base_seed=4)
+    assert result.n_runs == 1
+    summary = result["value"]
+    assert isinstance(summary, Summary)
+    assert summary.mean == pytest.approx(14.0)
+    assert summary.std == 0.0
+    assert summary.count == 1
+    assert summary.ci95 == (summary.mean, summary.mean)
+
+
+def test_repeat_accepts_registry_names():
+    result = repeat("viewport-width", n_runs=2, fields=["max_savings_fraction"])
+    assert result["max_savings_fraction"].count == 2
+
+
+def test_repeat_parallel_matches_serial():
+    """The runner-backed path must reproduce the serial loop exactly:
+    same seeds, same runs, same aggregates."""
+    serial = repeat(fake_experiment, n_runs=6, base_seed=3, scale=2.0)
+    parallel = repeat(
+        fake_experiment, n_runs=6, base_seed=3, scale=2.0,
+        parallel=True, max_workers=3,
+    )
+    assert parallel.runs == serial.runs
+    assert parallel.aggregates == serial.aggregates
 
 
 def test_repeat_real_experiment_tightens_ci():
