@@ -10,6 +10,12 @@ Usage::
     python -m repro export-pcap --platform vrchat --output capture.pcap
     python -m repro campaign --experiments throughput forwarding \\
         --seeds 0:20 --workers 4 --telemetry campaign.jsonl
+    python -m repro trace throughput --seed 3 --output trace.jsonl
+    python -m repro table3 --metrics-out table3-metrics.json
+
+Any subcommand accepts ``--metrics-out PATH`` to additionally write the
+run's observability dump (metric registry + packet/span traces) as
+JSON; for ``campaign`` the path is a directory of per-task dumps.
 """
 
 from __future__ import annotations
@@ -26,72 +32,103 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command is None:
         parser.print_help()
-        return 2
+        return 0
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out and not getattr(args, "owns_metrics_out", False):
+        # Generic path: run the subcommand under an obs collector and
+        # dump everything its simulators recorded.  Subcommands that
+        # manage collection themselves (campaign, trace) opt out via
+        # ``owns_metrics_out``.
+        from .obs import collect
+        from .obs.export import write_json
+
+        with collect() as collector:
+            status = args.handler(args)
+        write_json(collector.merged_dump(), metrics_out)
+        print(f"[metrics written to {metrics_out}]")
+        return status
     return args.handler(args)
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of the IMC'22 social-VR measurement study",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the observability dump (metrics + traces) as JSON "
+        "(for 'campaign': a directory of per-task dumps)",
+    )
+
+    def add_parser(name: str, **kwargs):
+        return sub.add_parser(name, parents=[common], **kwargs)
+
     sub = parser.add_subparsers(dest="command")
 
-    platforms = sub.add_parser("platforms", help="list the modelled platforms")
+    platforms = add_parser("platforms", help="list the modelled platforms")
     platforms.set_defaults(handler=_cmd_platforms)
 
-    quickstart = sub.add_parser("quickstart", help="run a two-user session")
+    quickstart = add_parser("quickstart", help="run a two-user session")
     quickstart.add_argument("--platform", default="vrchat")
     quickstart.add_argument("--duration", type=float, default=20.0)
     quickstart.set_defaults(handler=_cmd_quickstart)
 
-    table1 = sub.add_parser("table1", help="Table 1: feature comparison")
+    table1 = add_parser("table1", help="Table 1: feature comparison")
     table1.set_defaults(handler=_cmd_table1)
 
-    table2 = sub.add_parser("table2", help="Table 2: infrastructure probing")
+    table2 = add_parser("table2", help="Table 2: infrastructure probing")
     table2.add_argument("--platforms", nargs="*", default=None)
     table2.set_defaults(handler=_cmd_table2)
 
-    table3 = sub.add_parser("table3", help="Table 3: two-user throughput")
+    table3 = add_parser("table3", help="Table 3: two-user throughput")
     table3.add_argument("--platforms", nargs="*", default=None)
     table3.set_defaults(handler=_cmd_table3)
 
-    table4 = sub.add_parser("table4", help="Table 4: latency breakdown")
+    table4 = add_parser("table4", help="Table 4: latency breakdown")
     table4.add_argument("--platforms", nargs="*", default=None)
     table4.add_argument("--actions", type=int, default=20)
     table4.set_defaults(handler=_cmd_table4)
 
-    fig7 = sub.add_parser("fig7", help="Figs. 7/8: scalability sweep")
+    fig7 = add_parser("fig7", help="Figs. 7/8: scalability sweep")
     fig7.add_argument("--platforms", nargs="*", default=None)
     fig7.add_argument(
         "--users", nargs="*", type=int, default=[1, 2, 5, 10, 15]
     )
     fig7.set_defaults(handler=_cmd_fig7)
 
-    viewport = sub.add_parser(
+    viewport = add_parser(
         "viewport", help="Sec. 6.1: viewport width detection"
     )
     viewport.add_argument("--platform", default="altspacevr")
     viewport.set_defaults(handler=_cmd_viewport)
 
-    disruption = sub.add_parser("disruption", help="Sec. 8 experiments")
+    disruption = add_parser("disruption", help="Sec. 8 experiments")
     disruption.add_argument(
         "--experiment", choices=("downlink", "uplink", "tcp"), default="downlink"
     )
     disruption.set_defaults(handler=_cmd_disruption)
 
-    solutions = sub.add_parser(
+    solutions = add_parser(
         "solutions", help="ablation of the candidate architectures"
     )
     solutions.add_argument("--platform", default="worlds")
     solutions.set_defaults(handler=_cmd_solutions)
 
-    experiments = sub.add_parser(
+    experiments = add_parser(
         "experiments", help="list every registered experiment"
     )
     experiments.set_defaults(handler=_cmd_experiments)
 
-    campaign = sub.add_parser(
+    campaign = add_parser(
         "campaign",
         help="run an experiment matrix in parallel with caching + telemetry",
     )
@@ -129,15 +166,43 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--telemetry", default=None, metavar="PATH", help="append JSONL events here"
     )
-    campaign.set_defaults(handler=_cmd_campaign)
+    campaign.set_defaults(handler=_cmd_campaign, owns_metrics_out=True)
 
-    report = sub.add_parser(
+    trace = add_parser(
+        "trace",
+        help="run one experiment under full observability and profile it",
+    )
+    trace.add_argument("experiment", help="a registry name (see 'experiments')")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        metavar="N",
+        help="trace/profile rows to print per section (0 = all)",
+    )
+    trace.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-simulation trace buffer bound (default 200000)",
+    )
+    trace.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the full dump as JSONL here",
+    )
+    trace.set_defaults(handler=_cmd_trace, owns_metrics_out=True)
+
+    report = add_parser(
         "report", help="run the findings bundle and print the report card"
     )
     report.add_argument("--output", default=None, help="also write markdown here")
     report.set_defaults(handler=_cmd_report)
 
-    event = sub.add_parser(
+    event = add_parser(
         "public-event", help="attend a churning public event (Sec. 6.2)"
     )
     event.add_argument("--platform", default="vrchat")
@@ -145,7 +210,7 @@ def _build_parser() -> argparse.ArgumentParser:
     event.add_argument("--duration", type=float, default=180.0)
     event.set_defaults(handler=_cmd_public_event)
 
-    export = sub.add_parser(
+    export = add_parser(
         "export-pcap", help="run a session and export U1's capture"
     )
     export.add_argument("--platform", default="vrchat")
@@ -456,6 +521,7 @@ def _cmd_campaign(args) -> int:
         cache_dir=None if args.no_cache else args.cache_dir,
         use_cache=not args.no_cache,
         telemetry_path=args.telemetry,
+        metrics_dir=args.metrics_out,
     )
     rows = []
     for name in plan.experiments:
@@ -486,7 +552,87 @@ def _cmd_campaign(args) -> int:
         print(f"FAILED {failure.spec.task_id}: {failure.error}", file=sys.stderr)
     if args.telemetry:
         print(f"\n[telemetry appended to {args.telemetry}]")
+    if args.metrics_out:
+        print(f"[per-task metrics written to {args.metrics_out}/]")
     return 0 if campaign.ok else 1
+
+
+def _cmd_trace(args) -> int:
+    from .measure.experiment import run_experiment
+    from .obs import collect
+    from .obs.export import render, write_json, write_jsonl
+    from .runner.plan import experiment_accepts_seed
+
+    try:
+        kwargs = {"seed": args.seed} if experiment_accepts_seed(args.experiment) else {}
+        with collect(max_trace_events=args.max_events) as collector:
+            run_experiment(args.experiment, **kwargs)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    dump = collector.merged_dump()
+    n_sims = len(collector.observabilities)
+    trace = dump["trace"]
+    limit = args.limit if args.limit > 0 else None
+
+    print(f"experiment: {args.experiment} ({n_sims} simulation(s))")
+    for index, obs in enumerate(collector.observabilities):
+        print()
+        if n_sims > 1:
+            print(f"--- simulation {index} ---")
+        print(render(obs.registry, max_rows=limit or 0))
+
+    spans = [e for e in trace["events"] if e["kind"] == "span"]
+    hops = [e for e in trace["events"] if e["kind"] == "hop"]
+    print()
+    print(
+        f"trace: {len(trace['events'])} events kept "
+        f"({trace['dropped']} dropped), {len(spans)} spans, {len(hops)} hops"
+    )
+    if hops:
+        first_packet = hops[0].get("packet")
+        journey = [h for h in hops if h.get("packet") == first_packet]
+        print(f"\npacket {first_packet} ({journey[0].get('flow', '?')}):")
+        for hop in journey[:limit] if limit else journey:
+            print(
+                f"  t={hop['t']:.6f}  {hop['hop']:<8} at {hop['where']}"
+                f"  size={hop.get('size', '?')}"
+            )
+
+    # Merge span profiles across collected simulations.
+    totals: typing.Dict[str, dict] = {}
+    for obs in collector.observabilities:
+        for row in obs.tracer.span_profile():
+            merged_row = totals.setdefault(
+                row["name"],
+                {"name": row["name"], "count": 0, "wall_s": 0.0, "sim_s": 0.0},
+            )
+            merged_row["count"] += row["count"]
+            merged_row["wall_s"] += row["wall_s"]
+            merged_row["sim_s"] += row["sim_s"]
+    profile_rows = sorted(totals.values(), key=lambda row: -row["wall_s"])
+    if profile_rows:
+        shown = profile_rows[:limit] if limit else profile_rows
+        print()
+        print(
+            render_table(
+                ["Span", "Count", "Wall (s)", "Sim (s)"],
+                [
+                    [r["name"], r["count"], f"{r['wall_s']:.4f}", f"{r['sim_s']:.2f}"]
+                    for r in shown
+                ],
+                title="span profile (heaviest first)",
+            )
+        )
+
+    if args.output:
+        lines = write_jsonl(dump, args.output)
+        print(f"\n[{lines} JSONL events written to {args.output}]")
+    if args.metrics_out:
+        write_json(dump, args.metrics_out)
+        print(f"[metrics written to {args.metrics_out}]")
+    return 0
 
 
 def _cmd_report(args) -> int:

@@ -12,6 +12,19 @@ import dataclasses
 import statistics
 import typing
 
+from ..obs.context import obs_of
+
+#: MetricsSample fields mirrored into the obs registry as gauges.
+_BRIDGED_FIELDS = (
+    "fps",
+    "stale_per_s",
+    "cpu_pct",
+    "gpu_pct",
+    "memory_mb",
+    "visible_avatars",
+    "battery_pct",
+)
+
 
 @dataclasses.dataclass(frozen=True)
 class MetricsSample:
@@ -38,6 +51,17 @@ class OvrMetricsSampler:
         self.period_s = period_s
         self.samples: typing.List[MetricsSample] = []
         self._running = False
+        # Bridge OVR-style samples into the obs registry: each sampled
+        # field becomes a per-user gauge the PeriodicSnapshotter (and
+        # exporters) see alongside network metrics.
+        self._obs = obs_of(sim)
+        self._gauges: typing.Dict[str, object] = {}
+        if self._obs.enabled:
+            user = getattr(client, "user_id", "device")
+            self._gauges = {
+                field: self._obs.registry.gauge(f"device.{field}", user=user)
+                for field in _BRIDGED_FIELDS
+            }
 
     def start(self) -> None:
         if self._running:
@@ -51,7 +75,11 @@ class OvrMetricsSampler:
     def _tick(self) -> None:
         if not self._running:
             return
-        self.samples.append(self.client.device_snapshot())
+        sample = self.client.device_snapshot()
+        self.samples.append(sample)
+        if self._obs.enabled:
+            for field, gauge in self._gauges.items():
+                gauge.set(float(getattr(sample, field)))
         self.sim.schedule(self.period_s, self._tick)
 
     # ------------------------------------------------------------------

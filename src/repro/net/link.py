@@ -14,6 +14,7 @@ from __future__ import annotations
 import collections
 import typing
 
+from ..obs.context import obs_of
 from .netem import NetemQdisc
 from .packet import Packet
 
@@ -62,6 +63,25 @@ class Link:
         self.delivered_packets = 0
         self.delivered_bytes = 0
         self.dropped_packets = 0
+        self._obs = obs_of(sim)
+        #: Hosts terminate traffic (they expose ``addresses``); routers
+        #: and APs forward it on.
+        self._dst_terminates = hasattr(dst, "addresses")
+        if self._obs.enabled:
+            registry = self._obs.registry
+            registry.gauge(
+                "net.link.backlog_bytes", fn=lambda: self._queued_bytes, link=self.name
+            )
+            registry.gauge(
+                "net.link.delivered_bytes",
+                fn=lambda: self.delivered_bytes,
+                link=self.name,
+            )
+            registry.gauge(
+                "net.link.dropped_packets",
+                fn=lambda: self.dropped_packets,
+                link=self.name,
+            )
 
     # ------------------------------------------------------------------
     # Attachments
@@ -92,7 +112,15 @@ class Link:
             tap(packet, self)
         if self._queued_bytes + packet.size > self.queue_bytes:
             self.dropped_packets += 1
+            if self._obs.enabled:
+                self._obs.tracer.packet_hop(
+                    "drop", packet, self.name, reason="queue-full"
+                )
             return
+        if self._obs.enabled:
+            self._obs.tracer.packet_hop(
+                "enqueue", packet, self.name, backlog=self._queued_bytes
+            )
         self._queue.append(packet)
         self._queued_bytes += packet.size
         if not self._transmitting:
@@ -118,6 +146,14 @@ class Link:
     def _deliver(self, packet: Packet) -> None:
         self.delivered_packets += 1
         self.delivered_bytes += packet.size
+        if self._obs.enabled:
+            self._obs.tracer.packet_hop("deliver", packet, self.name)
+            if self._dst_terminates:
+                # Bytes by 5-tuple, counted once at the terminating
+                # host rather than on every transit link.
+                self._obs.registry.counter(
+                    "net.flow.bytes", flow=packet.flow_label
+                ).inc(packet.size)
         self.dst.receive(packet, self)
 
     @property

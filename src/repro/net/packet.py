@@ -79,6 +79,16 @@ class Packet:
         """Swap source and destination for a response packet."""
         return self.dst, self.src
 
+    @property
+    def flow_label(self) -> str:
+        """The 5-tuple as one observability label:
+        ``"ip:port->ip:port/proto"`` — the key the obs layer accounts
+        per-flow bytes under, matching a Wireshark conversation row."""
+        return (
+            f"{self.src.ip}:{self.src.port}->"
+            f"{self.dst.ip}:{self.dst.port}/{self.protocol}"
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Packet(#{self.packet_id} {self.protocol} "

@@ -14,6 +14,7 @@ import typing
 
 import networkx as nx
 
+from ..obs.context import obs_of
 from .address import AddressRegistry, AnycastGroup, IPAddress
 from .geo import Location
 from .link import Link
@@ -35,6 +36,15 @@ class Network:
         self.nodes: dict[str, Node] = {}
         self.anycast_groups: dict[int, AnycastGroup] = {}
         self._routes_built = False
+        self._obs = obs_of(sim)
+        if self._obs.enabled:
+            registry = self._obs.registry
+            registry.gauge("net.nodes", fn=lambda: len(self.nodes))
+            registry.gauge("net.links", fn=lambda: self.graph.number_of_edges())
+            registry.gauge(
+                "net.inflight_packets", fn=self._inflight_packets
+            )
+            self._route_builds = registry.counter("net.route_builds")
 
     # ------------------------------------------------------------------
     # Construction
@@ -124,6 +134,14 @@ class Network:
     # ------------------------------------------------------------------
     def build_routes(self) -> None:
         """(Re)compute next-hop tables for all destinations."""
+        if self._obs.enabled:
+            self._route_builds.inc()
+            with self._obs.tracer.span("net.build_routes", nodes=len(self.nodes)):
+                self._build_routes()
+            return
+        self._build_routes()
+
+    def _build_routes(self) -> None:
         paths = dict(nx.all_pairs_dijkstra(self.graph, weight="weight"))
         # Unicast: route every node toward every host address. Access
         # points are probe sources, so their addresses are routable too.
@@ -168,6 +186,16 @@ class Network:
     def ensure_routes(self) -> None:
         if not self._routes_built:
             self.build_routes()
+
+    def _inflight_packets(self) -> int:
+        """Packets queued or in transit across every link (sampled by
+        the snapshotter as a network-pressure gauge)."""
+        total = 0
+        for _, _, data in self.graph.edges(data=True):
+            link = data.get("link")
+            if link is not None:
+                total += len(link._queue) + (1 if link._transmitting else 0)
+        return total
 
     # ------------------------------------------------------------------
     # Lookup helpers

@@ -1,0 +1,81 @@
+"""repro.obs — simulation-native observability for the whole stack.
+
+The paper's method is observation (Wireshark flow tables, OVR Metrics
+samplers, per-channel throughput series); this package points the same
+instruments at the reproduction itself:
+
+* :mod:`.metrics` — counters/gauges/histograms in a per-simulation
+  :class:`MetricsRegistry` (campaign workers never share state);
+* :mod:`.trace` — span timing and per-packet hop traces
+  (enqueue -> transit -> deliver/drop) in a bounded buffer;
+* :mod:`.snapshot` — a sim-time :class:`PeriodicSnapshotter` turning
+  gauges/counters into time series compatible with
+  :mod:`repro.capture.timeseries`;
+* :mod:`.export` — JSONL (campaign-telemetry shaped), Prometheus text,
+  and human tables;
+* :mod:`.context` — process-local collection so the campaign runner and
+  CLI can observe experiments that build their own simulators.
+
+Observability is **opt-in**: by default every Simulator carries the
+shared no-op :data:`NULL_OBS`, so instrumented hot paths cost a single
+attribute check and results are byte-identical with or without it.
+
+Quickstart::
+
+    from repro.obs import collect
+    from repro.measure.experiment import run_experiment
+
+    with collect() as collector:
+        run_experiment("forwarding")
+    dump = collector.merged_dump()
+    print(dump["metrics"]["counters"][:3])
+"""
+
+from .context import (
+    NULL_OBS,
+    ObsCollector,
+    Observability,
+    active_collector,
+    collect,
+    obs_of,
+    observability_for_new_simulator,
+)
+from .export import render, sanitize_metric_name, to_prometheus, write_json, write_jsonl
+from .metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    format_labels,
+)
+from .snapshot import PeriodicSnapshotter
+from .trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "NULL_OBS",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "ObsCollector",
+    "Observability",
+    "PeriodicSnapshotter",
+    "Span",
+    "Tracer",
+    "active_collector",
+    "collect",
+    "format_labels",
+    "obs_of",
+    "observability_for_new_simulator",
+    "render",
+    "sanitize_metric_name",
+    "to_prometheus",
+    "write_json",
+    "write_jsonl",
+]

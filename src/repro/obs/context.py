@@ -1,0 +1,134 @@
+"""Process-local observability collection for whole experiments.
+
+Experiments build their own :class:`~repro.simcore.kernel.Simulator`
+instances internally, so callers (the campaign runner, the CLI) cannot
+hand an :class:`Observability` to them directly.  Instead they activate
+a collector::
+
+    with collect() as collector:
+        result = run_experiment("throughput")
+    dump = collector.dump()
+
+While a collector is active, every ``Simulator()`` constructed in this
+process (the worker running the task) gets an *enabled* observability
+instance and registers it with the collector; with no collector active,
+simulators default to the shared no-op :data:`NULL_OBS` and the whole
+layer costs one attribute check per call site.  Collection is
+process-local state, which is exactly the isolation the campaign
+executor needs: each worker process collects only its own task.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import typing
+
+from .metrics import NULL_REGISTRY, MetricsRegistry
+from .trace import NULL_TRACER, Tracer
+
+_ACTIVE_COLLECTOR: typing.Optional["ObsCollector"] = None
+
+
+class Observability:
+    """Per-simulation bundle: one registry + one tracer."""
+
+    enabled = True
+
+    def __init__(self, max_trace_events: typing.Optional[int] = None) -> None:
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer() if max_trace_events is None else Tracer(
+            max_events=max_trace_events
+        )
+
+    def bind(self, sim) -> None:
+        """Attach the simulator whose clock stamps trace events."""
+        self.tracer.bind(sim)
+
+    def dump(self) -> dict:
+        return {"metrics": self.registry.dump(), "trace": self.tracer.dump()}
+
+
+class _NullObservability:
+    """The disabled bundle: shared, stateless, and allocation-free."""
+
+    enabled = False
+    registry = NULL_REGISTRY
+    tracer = NULL_TRACER
+
+    def bind(self, sim) -> None:
+        pass
+
+    def dump(self) -> dict:
+        return {"metrics": NULL_REGISTRY.dump(), "trace": NULL_TRACER.dump()}
+
+
+#: Shared disabled observability — the default for every Simulator.
+NULL_OBS = _NullObservability()
+
+
+def obs_of(sim) -> typing.Union[Observability, _NullObservability]:
+    """The observability bundle of ``sim`` (NULL_OBS for stub sims)."""
+    return getattr(sim, "obs", NULL_OBS) or NULL_OBS
+
+
+class ObsCollector:
+    """Accumulates the observability of every Simulator built under it."""
+
+    def __init__(self, max_trace_events: typing.Optional[int] = None) -> None:
+        self.max_trace_events = max_trace_events
+        self.observabilities: typing.List[Observability] = []
+
+    def new_observability(self) -> Observability:
+        obs = Observability(max_trace_events=self.max_trace_events)
+        self.observabilities.append(obs)
+        return obs
+
+    def dump(self) -> dict:
+        """One dump per collected simulation, in creation order."""
+        return {
+            "simulations": [obs.dump() for obs in self.observabilities],
+        }
+
+    def merged_dump(self) -> dict:
+        """A single-simulation-shaped dump; most tasks build exactly one
+        Simulator, and for those this is just its dump."""
+        if len(self.observabilities) == 1:
+            return self.observabilities[0].dump()
+        metrics = {"counters": [], "gauges": [], "histograms": []}
+        events: typing.List[dict] = []
+        dropped = 0
+        for obs in self.observabilities:
+            sub = obs.dump()
+            for kind in metrics:
+                metrics[kind].extend(sub["metrics"][kind])
+            events.extend(sub["trace"]["events"])
+            dropped += sub["trace"]["dropped"]
+        return {
+            "metrics": metrics,
+            "trace": {"events": events, "dropped": dropped, "max_events": None},
+            "n_simulations": len(self.observabilities),
+        }
+
+
+def active_collector() -> typing.Optional[ObsCollector]:
+    return _ACTIVE_COLLECTOR
+
+
+def observability_for_new_simulator():
+    """What ``Simulator.__init__`` uses when no obs was passed."""
+    if _ACTIVE_COLLECTOR is not None:
+        return _ACTIVE_COLLECTOR.new_observability()
+    return NULL_OBS
+
+
+@contextlib.contextmanager
+def collect(max_trace_events: typing.Optional[int] = None):
+    """Enable observability for every Simulator built in this block."""
+    global _ACTIVE_COLLECTOR
+    previous = _ACTIVE_COLLECTOR
+    collector = ObsCollector(max_trace_events=max_trace_events)
+    _ACTIVE_COLLECTOR = collector
+    try:
+        yield collector
+    finally:
+        _ACTIVE_COLLECTOR = previous

@@ -1,0 +1,135 @@
+"""Exporters: JSONL event stream, Prometheus text dump, human tables.
+
+Three audiences, three formats:
+
+* :func:`write_jsonl` — the machine stream, reusing the flat one-object-
+  per-line shape of :class:`repro.runner.telemetry.TelemetryWriter`, so
+  obs output can be tailed/parsed by the same tooling as campaign
+  telemetry;
+* :func:`to_prometheus` — the ops surface, a ``# TYPE``-annotated text
+  exposition of every metric; and
+* :func:`render` — the human table printed by ``python -m repro trace``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import typing
+
+from .metrics import MetricsRegistry, format_labels
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Dots to underscores: ``net.link.bytes`` -> ``net_link_bytes``."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition of every metric in ``registry``."""
+    lines: typing.List[str] = []
+    seen_types: set = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for counter in sorted(registry.counters(), key=lambda m: (m.name, m.labels)):
+        name = sanitize_metric_name(counter.name) + "_total"
+        type_line(name, "counter")
+        lines.append(f"{name}{format_labels(counter.labels)} {counter.value:g}")
+    for gauge in sorted(registry.gauges(), key=lambda m: (m.name, m.labels)):
+        name = sanitize_metric_name(gauge.name)
+        type_line(name, "gauge")
+        lines.append(f"{name}{format_labels(gauge.labels)} {gauge.read():g}")
+    for hist in sorted(registry.histograms(), key=lambda m: (m.name, m.labels)):
+        name = sanitize_metric_name(hist.name)
+        type_line(name, "histogram")
+        cumulative = 0
+        for bound, bucket in zip(hist.bounds, hist.bucket_counts):
+            cumulative += bucket
+            labels = hist.labels + (("le", f"{bound:g}"),)
+            lines.append(f"{name}_bucket{format_labels(labels)} {cumulative}")
+        labels = hist.labels + (("le", "+Inf"),)
+        lines.append(f"{name}_bucket{format_labels(labels)} {hist.count}")
+        lines.append(f"{name}_sum{format_labels(hist.labels)} {hist.sum:g}")
+        lines.append(f"{name}_count{format_labels(hist.labels)} {hist.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render(registry: MetricsRegistry, max_rows: int = 0) -> str:
+    """Aligned human-readable table of every metric value."""
+    from ..measure.report import render_table
+
+    rows: typing.List[list] = []
+    for counter in sorted(registry.counters(), key=lambda m: (m.name, m.labels)):
+        rows.append(
+            ["counter", counter.name, format_labels(counter.labels), f"{counter.value:g}"]
+        )
+    for gauge in sorted(registry.gauges(), key=lambda m: (m.name, m.labels)):
+        rows.append(["gauge", gauge.name, format_labels(gauge.labels), f"{gauge.read():g}"])
+    for hist in sorted(registry.histograms(), key=lambda m: (m.name, m.labels)):
+        rows.append(
+            [
+                "histogram",
+                hist.name,
+                format_labels(hist.labels),
+                f"n={hist.count} mean={hist.mean:.3g}",
+            ]
+        )
+    if max_rows and len(rows) > max_rows:
+        clipped = len(rows) - max_rows
+        rows = rows[:max_rows] + [["...", f"({clipped} more)", "", ""]]
+    return render_table(["Kind", "Metric", "Labels", "Value"], rows)
+
+
+def write_jsonl(dump: dict, path: str) -> int:
+    """Write an observability dump as flat JSONL events.
+
+    Reuses the ``{"event": ..., ...}`` line shape of campaign
+    telemetry.  Returns the number of lines written.
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    count = 0
+    with open(path, "w") as handle:
+        def emit(record: dict) -> None:
+            nonlocal count
+            handle.write(json.dumps(record, sort_keys=False) + "\n")
+            count += 1
+
+        metrics = dump.get("metrics", {})
+        for counter in metrics.get("counters", []):
+            emit({"event": "metric", "kind": "counter", **counter})
+        for gauge in metrics.get("gauges", []):
+            emit({"event": "metric", "kind": "gauge", **gauge})
+        for hist in metrics.get("histograms", []):
+            emit({"event": "metric", "kind": "histogram", **hist})
+        trace = dump.get("trace", {})
+        for event in trace.get("events", []):
+            emit({"event": "trace", **event})
+        if trace.get("dropped"):
+            emit({"event": "trace_dropped", "count": trace["dropped"]})
+        snapshots = dump.get("snapshots")
+        if snapshots:
+            for key, series in snapshots.get("series", {}).items():
+                emit(
+                    {
+                        "event": "snapshot_series",
+                        "metric": key,
+                        "period_s": snapshots.get("period_s"),
+                        "times": series["times"],
+                        "values": series["values"],
+                    }
+                )
+    return count
+
+
+def write_json(dump: dict, path: str) -> None:
+    """Write a full observability dump as one pretty-printed JSON file."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(dump, handle, indent=1, sort_keys=False, default=str)
+        handle.write("\n")

@@ -1,0 +1,290 @@
+"""Simulation-native metrics: counters, gauges, and histograms.
+
+The paper's measurement instrument *is* instrumentation — Wireshark flow
+tables, OVR Metrics samplers, per-channel throughput series — and this
+module gives the reproduction stack the same vocabulary for itself.  A
+:class:`MetricsRegistry` holds metrics keyed by ``(name, labels)``; one
+registry hangs off each :class:`~repro.simcore.kernel.Simulator`, so
+parallel campaign workers never share metric state.
+
+Disabled observability must cost (almost) nothing: :class:`NullRegistry`
+hands out shared singleton no-op instruments, and every hot-path call
+site additionally guards on ``obs.enabled`` so the disabled path is a
+single attribute check.
+"""
+
+from __future__ import annotations
+
+import typing
+
+#: Default histogram bucket upper bounds (seconds-ish scale: from 1 us
+#: to 10 s, decade-spaced with a 3x midpoint, plus +inf implied).
+DEFAULT_BUCKETS = (
+    1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
+    1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0,
+)
+
+
+def _label_key(labels: typing.Mapping[str, typing.Any]) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+def format_labels(labels: tuple) -> str:
+    """``(("link", "u1->ap"),)`` -> ``{link="u1->ap"}`` (empty -> "")."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in labels)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, drops)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}{format_labels(self.labels)}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value; either set explicitly or read via ``fn``.
+
+    Callback gauges (``fn``) are the cheap way to expose existing state
+    (queue depths, heap sizes): registration is one dict insert and the
+    value is only computed when something reads it — the hot path never
+    pays.
+    """
+
+    __slots__ = ("name", "labels", "fn", "_value")
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple = (),
+        fn: typing.Optional[typing.Callable[[], float]] = None,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.fn = fn
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def read(self) -> float:
+        if self.fn is not None:
+            return float(self.fn())
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}{format_labels(self.labels)}={self.read()})"
+
+
+class Histogram:
+    """A distribution summary: count/sum/min/max plus bucket counts."""
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple = (),
+        buckets: typing.Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(buckets)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # last = +inf
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Histogram({self.name}{format_labels(self.labels)} "
+            f"n={self.count} mean={self.mean:.6g})"
+        )
+
+
+class MetricsRegistry:
+    """Get-or-create store of metrics keyed by name + labels."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: typing.Dict[tuple, typing.Any] = {}
+
+    # ------------------------------------------------------------------
+    # Get-or-create accessors
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        key = ("counter", name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = Counter(name, _label_key(labels))
+        return metric
+
+    def gauge(
+        self,
+        name: str,
+        fn: typing.Optional[typing.Callable[[], float]] = None,
+        **labels,
+    ) -> Gauge:
+        key = ("gauge", name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = Gauge(name, _label_key(labels), fn=fn)
+        elif fn is not None:
+            metric.fn = fn
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        buckets: typing.Sequence[float] = DEFAULT_BUCKETS,
+        **labels,
+    ) -> Histogram:
+        key = ("histogram", name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = Histogram(
+                name, _label_key(labels), buckets=buckets
+            )
+        return metric
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def counters(self) -> typing.List[Counter]:
+        return [m for (kind, _, _), m in self._metrics.items() if kind == "counter"]
+
+    def gauges(self) -> typing.List[Gauge]:
+        return [m for (kind, _, _), m in self._metrics.items() if kind == "gauge"]
+
+    def histograms(self) -> typing.List[Histogram]:
+        return [m for (kind, _, _), m in self._metrics.items() if kind == "histogram"]
+
+    def value(self, name: str, **labels) -> typing.Optional[float]:
+        """Current value of the named counter or gauge, or None."""
+        counter = self._metrics.get(("counter", name, _label_key(labels)))
+        if counter is not None:
+            return counter.value
+        gauge = self._metrics.get(("gauge", name, _label_key(labels)))
+        if gauge is not None:
+            return gauge.read()
+        return None
+
+    def total(self, name: str) -> float:
+        """Sum of a counter family over all label sets."""
+        return sum(
+            m.value
+            for (kind, metric_name, _), m in self._metrics.items()
+            if kind == "counter" and metric_name == name
+        )
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def dump(self) -> dict:
+        """A JSON-able snapshot of every metric."""
+        counters = [
+            {"name": c.name, "labels": dict(c.labels), "value": c.value}
+            for c in sorted(self.counters(), key=lambda m: (m.name, m.labels))
+        ]
+        gauges = [
+            {"name": g.name, "labels": dict(g.labels), "value": g.read()}
+            for g in sorted(self.gauges(), key=lambda m: (m.name, m.labels))
+        ]
+        histograms = [
+            {
+                "name": h.name,
+                "labels": dict(h.labels),
+                "count": h.count,
+                "sum": h.sum,
+                "mean": h.mean,
+                "min": h.min if h.count else None,
+                "max": h.max if h.count else None,
+            }
+            for h in sorted(self.histograms(), key=lambda m: (m.name, m.labels))
+        ]
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def read(self) -> float:
+        return 0.0
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram("null", buckets=())
+
+
+class NullRegistry(MetricsRegistry):
+    """A no-op registry: every accessor returns a shared no-op metric."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, fn=None, **labels) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS, **labels) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def dump(self) -> dict:
+        return {"counters": [], "gauges": [], "histograms": []}
+
+
+#: Shared no-op registry used whenever observability is disabled.
+NULL_REGISTRY = NullRegistry()

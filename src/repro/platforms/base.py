@@ -36,6 +36,7 @@ from ..device.rendering import RenderModel
 from ..device.resources import ResourceModel
 from ..net.address import Endpoint
 from ..net.http import HttpsClient
+from ..obs.context import obs_of
 from ..net.node import Host
 from ..net.udp import UdpSocket
 from ..net.webrtc import WebRtcSession
@@ -245,6 +246,27 @@ class PlatformClient:
         self.device = device
         self.muted = muted
         self._rng = sim.rng(f"client:{self.profile.name}:{user_id}")
+
+        # Per-channel observability counters (payload bytes, the same
+        # separation the paper's flow classification recovers at the AP).
+        self._obs = obs_of(sim)
+        if self._obs.enabled:
+            registry = self._obs.registry
+
+            def tx(channel: str):
+                return registry.counter(
+                    "platform.client.tx_bytes", user=user_id, channel=channel
+                )
+
+            def rx(channel: str):
+                return registry.counter(
+                    "platform.client.rx_bytes", user=user_id, channel=channel
+                )
+
+            self._tx_counters = {
+                ch: tx(ch) for ch in ("avatar", "session", "voice", "game", "screen")
+            }
+            self._rx_counters = {ch: rx(ch) for ch in ("avatar", "session", "voice")}
 
         # Avatar state
         self.pose = Pose(position=Vec3(0.0, 0.0, 0.0))
@@ -485,7 +507,16 @@ class PlatformClient:
             if self.in_game and game_bytes_per_tick > 0:
                 self._send_game(max(64, game_bytes_per_tick))
 
+    def _count_tx(self, channel: str, payload_bytes: int) -> None:
+        if self._obs.enabled:
+            self._tx_counters[channel].inc(payload_bytes)
+
+    def _count_rx(self, channel: str, payload_bytes: int) -> None:
+        if self._obs.enabled:
+            self._rx_counters[channel].inc(payload_bytes)
+
     def _send_avatar(self, payload_bytes: int, update: AvatarUpdate) -> None:
+        self._count_tx("avatar", payload_bytes)
         if self.profile.data.transport == UDP_TRANSPORT:
             self.data_socket.send_to(
                 self.data_endpoint,
@@ -501,6 +532,7 @@ class PlatformClient:
         """Game action traffic is forwarded like avatar data."""
         if self.profile.data.transport != UDP_TRANSPORT:
             return
+        self._count_tx("game", payload_bytes)
         self.data_socket.send_to(
             self.data_endpoint,
             payload_bytes,
@@ -528,12 +560,14 @@ class PlatformClient:
                 keepalive_countdown -= 1
                 if keepalive_countdown <= 0 and self.data_socket is not None:
                     keepalive_countdown = 10
+                    self._count_tx("session", 16)
                     self.data_socket.send_to(
                         self.data_endpoint,
                         16,
                         ("session", self.room_id, self.user_id, 16),
                     )
                 continue
+            self._count_tx("session", up_payload)
             if self.profile.data.transport == UDP_TRANSPORT:
                 self.data_socket.send_to(
                     self.data_endpoint,
@@ -574,8 +608,10 @@ class PlatformClient:
             if self.frozen:
                 continue
             if self.voice is not None:
+                self._count_tx("voice", rtp_payload)
                 self.voice.send_media(rtp_payload, (self.room_id, self.user_id))
             elif self.profile.data.transport == UDP_TRANSPORT:
+                self._count_tx("voice", udp_payload)
                 self.data_socket.send_to(
                     self.data_endpoint,
                     udp_payload,
@@ -626,12 +662,16 @@ class PlatformClient:
             return
         kind = payload[0]
         if kind == "avatar-fwd":
+            self._count_rx("avatar", payload_bytes)
             self._on_avatar_forward(payload[1], payload_bytes + UDP_IP_HEADERS)
-        elif kind in ("session-ack", "voice-fwd"):
-            pass
+        elif kind == "session-ack":
+            self._count_rx("session", payload_bytes)
+        elif kind == "voice-fwd":
+            self._count_rx("voice", payload_bytes)
 
     def _on_https_push(self, name: str, size: int, meta, enqueued_at) -> None:
         if name == "avatar-fwd":
+            self._count_rx("avatar", size)
             self._on_avatar_forward(meta, size)
 
     def _on_voice_media(self, src, payload_bytes, sent_at, meta) -> None:
@@ -768,6 +808,7 @@ class PlatformClient:
             )
             # Screen frames are room content and forwarded like avatar
             # data — one more linearly-scaling stream per viewer.
+            self._count_tx("screen", frame_bytes)
             if self.profile.data.transport == UDP_TRANSPORT:
                 self.data_socket.send_to(
                     self.data_endpoint,

@@ -54,6 +54,29 @@ __all__ = [
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 
+def _write_task_metrics(metrics_dir: str, task_result: TaskResult, telemetry) -> str:
+    """Write one task's obs dump as JSON; returns the path written."""
+    import os
+
+    from ..obs.export import write_json
+
+    os.makedirs(metrics_dir, exist_ok=True)
+    filename = task_result.spec.task_id.replace("/", "_") + ".json"
+    path = os.path.join(metrics_dir, filename)
+    write_json(task_result.metrics, path)
+    metrics = task_result.metrics.get("metrics", {})
+    trace = task_result.metrics.get("trace", {})
+    telemetry.emit(
+        "task_metrics",
+        task=task_result.spec.task_id,
+        path=path,
+        n_counters=len(metrics.get("counters", [])),
+        n_gauges=len(metrics.get("gauges", [])),
+        n_trace_events=len(trace.get("events", [])),
+    )
+    return path
+
+
 @dataclasses.dataclass
 class CampaignResult:
     """Everything a finished campaign produced, in plan order."""
@@ -99,6 +122,8 @@ def run_campaign(
     use_cache: bool = True,
     telemetry: typing.Optional[TelemetryWriter] = None,
     telemetry_path: typing.Optional[str] = None,
+    collect_obs: bool = False,
+    metrics_dir: typing.Optional[str] = None,
 ) -> CampaignResult:
     """Run every task of ``plan``, reusing cached results for the delta.
 
@@ -108,6 +133,14 @@ def run_campaign(
     tasks are retried ``max_retries`` times and then recorded as
     failures without aborting the campaign; inspect
     ``result.failures`` or ``result.summary.ok``.
+
+    ``collect_obs=True`` (implied by ``metrics_dir``) runs every task
+    under :mod:`repro.obs` collection: each executed task's
+    ``TaskResult.metrics`` carries its observability dump (kernel event
+    counts, per-channel byte counters, packet hop traces), and with
+    ``metrics_dir`` each dump is also written to
+    ``<metrics_dir>/<task_id>.json`` next to the runner telemetry.
+    Cached results carry no metrics — they were not re-executed.
     """
     tasks = list(plan)
     own_telemetry = telemetry is None
@@ -143,11 +176,13 @@ def run_campaign(
                 continue
         to_run.append((index, task))
 
+    collect_obs = collect_obs or metrics_dir is not None
     executor = CampaignExecutor(
         max_workers=max_workers,
         timeout_s=timeout_s,
         max_retries=max_retries,
         backoff_s=backoff_s,
+        collect_obs=collect_obs,
     )
     if to_run:
         specs = [task for _, task in to_run]
@@ -159,6 +194,8 @@ def run_campaign(
             results[index] = task_result
             if cache is not None and task_result.ok:
                 cache.put(task_result.spec, task_result.value, task_result.wall_time_s)
+            if metrics_dir is not None and task_result.metrics is not None:
+                _write_task_metrics(metrics_dir, task_result, telemetry)
 
     final = typing.cast(typing.List[TaskResult], results)
     summary = CampaignSummary(

@@ -35,8 +35,17 @@ import typing
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 
+from ..obs.context import collect as _collect_obs
 from .plan import TaskSpec
 from .telemetry import TelemetryWriter
+
+#: Per-simulation trace-buffer bound for campaign tasks.  A campaign
+#: collects metrics for *every* task, so full 200k-event buffers would
+#: balloon each per-task dump into hundreds of megabytes; a few
+#: thousand events keep a representative packet-hop sample (the rest
+#: are accounted in ``trace.dropped``) while aggregate counters and
+#: histograms — which are never truncated — carry the totals.
+CAMPAIGN_TRACE_EVENTS = 2_000
 
 
 @dataclasses.dataclass(frozen=True)
@@ -46,13 +55,22 @@ class _WorkerReply:
     worker_pid: int
     wall_time_s: float
     result: typing.Any
+    metrics: typing.Optional[dict] = None
 
 
-def _execute_in_worker(spec: TaskSpec) -> _WorkerReply:
+def _execute_in_worker(spec: TaskSpec, collect_obs: bool = False) -> _WorkerReply:
     """Module-level so it pickles by reference into worker processes."""
     started = time.perf_counter()
-    result = spec.execute()
-    return _WorkerReply(os.getpid(), time.perf_counter() - started, result)
+    metrics = None
+    if collect_obs:
+        # Observability collection is process-local, so each worker
+        # observes exactly the simulators its own task builds.
+        with _collect_obs(max_trace_events=CAMPAIGN_TRACE_EVENTS) as collector:
+            result = spec.execute()
+        metrics = collector.merged_dump()
+    else:
+        result = spec.execute()
+    return _WorkerReply(os.getpid(), time.perf_counter() - started, result, metrics)
 
 
 @dataclasses.dataclass
@@ -67,6 +85,9 @@ class TaskResult:
     wall_time_s: float = 0.0
     from_cache: bool = False
     worker_pid: typing.Optional[int] = None
+    #: Observability dump (metrics + traces) when the campaign ran with
+    #: ``collect_obs``; None for cached results and failures.
+    metrics: typing.Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -92,12 +113,14 @@ class CampaignExecutor:
         backoff_s: float = 0.05,
         poll_interval_s: float = 0.05,
         start_method: typing.Optional[str] = None,
+        collect_obs: bool = False,
     ) -> None:
         self.max_workers = max_workers or (os.cpu_count() or 2)
         self.timeout_s = timeout_s
         self.max_retries = max_retries
         self.backoff_s = backoff_s
         self.poll_interval_s = poll_interval_s
+        self.collect_obs = collect_obs
         if start_method is None:
             # fork keeps dynamically registered experiments (test stubs,
             # notebook one-offs) visible in workers; fall back where the
@@ -132,7 +155,7 @@ class CampaignExecutor:
                 )
                 started = time.perf_counter()
                 try:
-                    value = spec.execute()
+                    reply = _execute_in_worker(spec, self.collect_obs)
                 except Exception as exc:  # noqa: BLE001 - task code is arbitrary
                     reason = f"{type(exc).__name__}: {exc}"
                     if attempt <= self.max_retries:
@@ -158,7 +181,7 @@ class CampaignExecutor:
                         )
                     )
                     break
-                wall = time.perf_counter() - started
+                wall = reply.wall_time_s
                 telemetry.emit(
                     "task_end",
                     task=spec.task_id,
@@ -169,8 +192,9 @@ class CampaignExecutor:
                 )
                 results.append(
                     TaskResult(
-                        spec, "ok", value=value, attempts=attempt,
+                        spec, "ok", value=reply.result, attempts=attempt,
                         wall_time_s=wall, worker_pid=os.getpid(),
+                        metrics=reply.metrics,
                     )
                 )
                 break
@@ -290,7 +314,7 @@ class CampaignExecutor:
                 blocked.append(attempt)
                 continue
             try:
-                future = pool.submit(_execute_in_worker, attempt.spec)
+                future = pool.submit(_execute_in_worker, attempt.spec, self.collect_obs)
             except Exception:  # BrokenProcessPool or shutdown race
                 pending.appendleft(attempt)
                 healthy = False
@@ -336,6 +360,7 @@ class CampaignExecutor:
             attempts=attempt.attempt,
             wall_time_s=reply.wall_time_s,
             worker_pid=reply.worker_pid,
+            metrics=reply.metrics,
         )
         return False
 

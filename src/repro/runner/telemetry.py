@@ -22,12 +22,18 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import time
 import typing
 
 
 class TelemetryWriter:
-    """Collects events in memory and optionally appends JSONL to a file."""
+    """Collects events in memory and optionally appends JSONL to a file.
+
+    Parent directories of ``path`` are created on open, and ``close()``
+    is idempotent; emitting after close raises a clear error rather
+    than the file object's opaque ``ValueError``.
+    """
 
     def __init__(
         self,
@@ -37,9 +43,19 @@ class TelemetryWriter:
         self.path = path
         self.events: typing.List[dict] = []
         self._clock = clock
-        self._handle = open(path, "a") if path else None
+        self._closed = False
+        if path:
+            parent = os.path.dirname(os.path.abspath(path))
+            os.makedirs(parent, exist_ok=True)
+            self._handle = open(path, "a")
+        else:
+            self._handle = None
 
     def emit(self, event: str, **fields) -> dict:
+        if self._closed:
+            raise RuntimeError(
+                f"cannot emit {event!r}: this TelemetryWriter is closed"
+            )
         record = {"ts": round(self._clock(), 6), "event": event}
         record.update(fields)
         self.events.append(record)
@@ -55,6 +71,7 @@ class TelemetryWriter:
         return [record for record in self.events if record["event"] == event]
 
     def close(self) -> None:
+        self._closed = True
         if self._handle is not None:
             self._handle.close()
             self._handle = None

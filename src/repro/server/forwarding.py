@@ -21,6 +21,7 @@ from __future__ import annotations
 import typing
 
 from ..avatar.codec import AvatarUpdate
+from ..obs.context import obs_of
 from ..net.address import Endpoint
 from ..net.node import Host
 from ..net.udp import UdpSocket
@@ -61,6 +62,24 @@ class AvatarDataServer:
         self.received_updates = 0
         self.forwarded_updates = 0
         self.unobserved_forwarded_bytes = 0
+        self._obs = obs_of(sim)
+        if self._obs.enabled:
+            registry = self._obs.registry
+            server = host.name
+            self._rx_counter = registry.counter(
+                "server.updates_received", server=server
+            )
+            self._fwd_counter = registry.counter(
+                "server.updates_forwarded", server=server
+            )
+            self._suppressed_counter = registry.counter(
+                "server.updates_suppressed", server=server
+            )
+            self._fanout_hist = registry.histogram(
+                "server.fanout",
+                buckets=(0, 1, 2, 5, 10, 20, 50, 100),
+                server=server,
+            )
 
     # ------------------------------------------------------------------
     # Ingest
@@ -95,12 +114,21 @@ class AvatarDataServer:
             if update.position is not None:
                 sender.pose = _pose_from_update(update)
         forwarded_bytes = max(1, int(payload_bytes * self.forward_fraction))
+        observing = self._obs.enabled
+        fanout = 0
+        if observing:
+            self._rx_counter.inc()
         for member in room.others(user_id):
             if not self.should_forward(room, sender, member, update):
                 member.suppressed_bytes += forwarded_bytes
+                if observing:
+                    self._suppressed_counter.inc()
                 continue
             member.forwarded_bytes += forwarded_bytes
             self.forwarded_updates += 1
+            fanout += 1
+            if observing:
+                self._fwd_counter.inc()
             if not member.observed:
                 # Lightweight peers: account the bytes, skip the packets.
                 self.unobserved_forwarded_bytes += forwarded_bytes
@@ -114,6 +142,17 @@ class AvatarDataServer:
                 member,
                 forwarded_bytes,
                 update,
+            )
+        if observing:
+            self._fanout_hist.observe(fanout)
+            self._obs.tracer.emit(
+                "hop",
+                hop="server-forward",
+                where=self.host.name,
+                room=room_id,
+                user=user_id,
+                fanout=fanout,
+                size=forwarded_bytes,
             )
 
     # ------------------------------------------------------------------

@@ -4,13 +4,23 @@
 streams. All substrates (network stack, devices, platform clients) hang
 off one ``Simulator`` instance, so a whole testbed is reproducible from a
 single seed.
+
+Observability hangs off the kernel too: ``sim.obs`` is either an enabled
+:class:`~repro.obs.Observability` (its registry and tracer are what every
+instrumented layer writes into) or the shared no-op ``NULL_OBS``.  The
+kernel itself reports event dispatch counts, heap depth, and a per-
+callback wall-time profile — the first place to look when a campaign
+task is slow.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
+import time as _time
 import typing
 
+from ..obs.context import observability_for_new_simulator
 from .events import ScheduledEvent, Signal
 from .process import Process
 from .rng import RandomStreams
@@ -27,15 +37,34 @@ class Simulator:
     ----------
     seed:
         Root seed for every named random stream (see :class:`RandomStreams`).
+    obs:
+        Observability bundle.  ``None`` (the default) resolves via
+        :mod:`repro.obs.context`: an enabled instance while a collector
+        is active (campaign workers, ``--metrics-out`` CLI runs), the
+        shared no-op otherwise.  Pass an
+        :class:`~repro.obs.Observability` to opt in explicitly.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, obs=None) -> None:
         self._now = 0.0
         self._heap: list[ScheduledEvent] = []
         self._sequence = 0
         self.streams = RandomStreams(seed)
         self.processes: list[Process] = []
         self.event_count = 0
+        if obs is None:
+            obs = observability_for_new_simulator()
+        self.obs = obs
+        obs.bind(self)
+        #: Cached flag so the disabled path is one attribute check.
+        self._obs_enabled = obs.enabled
+        if self._obs_enabled:
+            registry = obs.registry
+            self._registry = registry
+            self._events_counter = registry.counter("sim.events_dispatched")
+            self._cancelled_counter = registry.counter("sim.events_cancelled")
+            registry.gauge("sim.heap_depth", fn=lambda: len(self._heap))
+            registry.gauge("sim.now", fn=lambda: self._now)
 
     @property
     def now(self) -> float:
@@ -57,6 +86,10 @@ class Simulator:
         priority: int = 0,
     ) -> ScheduledEvent:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if not math.isfinite(delay):
+            # A NaN delay would silently corrupt heapq ordering (every
+            # comparison is False), so reject it loudly.
+            raise SimulationError(f"delay must be finite, got {delay}")
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}s in the past")
         return self.schedule_at(self._now + delay, callback, *args, priority=priority)
@@ -69,6 +102,8 @@ class Simulator:
         priority: int = 0,
     ) -> ScheduledEvent:
         """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if not math.isfinite(time):
+            raise SimulationError(f"event time must be finite, got {time}")
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"
@@ -96,12 +131,29 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                if self._obs_enabled:
+                    self._cancelled_counter.inc()
                 continue
             self._now = event.time
             self.event_count += 1
-            event.callback(*event.args)
+            if self._obs_enabled:
+                self._dispatch_observed(event)
+            else:
+                event.callback(*event.args)
             return True
         return False
+
+    def _dispatch_observed(self, event: ScheduledEvent) -> None:
+        """Dispatch one event under the tracer and wall-time profile."""
+        callback = event.callback
+        label = getattr(callback, "__qualname__", None) or repr(callback)
+        self._events_counter.inc()
+        with self.obs.tracer.span("kernel.dispatch", callback=label):
+            started = _time.perf_counter()
+            callback(*event.args)
+        self._registry.histogram("sim.callback_wall_s", callback=label).observe(
+            _time.perf_counter() - started
+        )
 
     def run(self, until: typing.Optional[float] = None) -> float:
         """Run events until the heap drains or the clock passes ``until``.
@@ -118,6 +170,8 @@ class Simulator:
             head = self._heap[0]
             if head.cancelled:
                 heapq.heappop(self._heap)
+                if self._obs_enabled:
+                    self._cancelled_counter.inc()
                 continue
             if head.time > until:
                 break

@@ -1,0 +1,125 @@
+"""Edge cases for capture.timeseries binning and summaries."""
+
+import numpy as np
+import pytest
+
+from repro.capture.sniffer import UPLINK, Endpoint, PacketRecord
+from repro.capture.timeseries import (
+    ThroughputSeries,
+    average_kbps,
+    correlation,
+    throughput_series,
+)
+
+
+def record(time: float, size: int = 125) -> PacketRecord:
+    return PacketRecord(
+        time=time,
+        src=Endpoint("10.0.0.1", 1000),
+        dst=Endpoint("10.0.0.2", 2000),
+        protocol="udp",
+        size=size,
+        direction=UPLINK,
+    )
+
+
+# ----------------------------------------------------------------------
+# Empty captures
+# ----------------------------------------------------------------------
+def test_empty_capture_yields_zero_bins():
+    series = throughput_series([], start=0.0, end=5.0, bin_s=1.0)
+    assert len(series) == 5
+    assert series.bits_per_bin.sum() == 0.0
+    assert series.mean_kbps() == 0.0
+    assert series.max_kbps() == 0.0
+
+
+def test_empty_window_average_is_zero():
+    assert average_kbps([], 0.0, 10.0) == 0.0
+
+
+def test_records_outside_window_are_ignored():
+    records = [record(-1.0), record(10.0), record(10.5)]
+    series = throughput_series(records, start=0.0, end=10.0, bin_s=1.0)
+    assert series.bits_per_bin.sum() == 0.0
+
+
+def test_mean_kbps_empty_mask_is_zero():
+    series = throughput_series([record(0.5)], start=0.0, end=1.0, bin_s=1.0)
+    assert series.mean_kbps(start=100.0, end=200.0) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Bin-boundary samples
+# ----------------------------------------------------------------------
+def test_sample_on_bin_boundary_goes_to_later_bin():
+    series = throughput_series([record(1.0)], start=0.0, end=3.0, bin_s=1.0)
+    assert list(series.bits_per_bin) == [0.0, 1000.0, 0.0]
+
+
+def test_sample_at_window_start_is_in_first_bin():
+    series = throughput_series([record(0.0)], start=0.0, end=2.0, bin_s=1.0)
+    assert list(series.bits_per_bin) == [1000.0, 0.0]
+
+
+def test_sample_at_window_end_is_excluded():
+    series = throughput_series([record(2.0)], start=0.0, end=2.0, bin_s=1.0)
+    assert series.bits_per_bin.sum() == 0.0
+
+
+def test_sample_just_inside_end_lands_in_last_bin():
+    series = throughput_series([record(1.999)], start=0.0, end=2.0, bin_s=1.0)
+    assert list(series.bits_per_bin) == [0.0, 1000.0]
+
+
+# ----------------------------------------------------------------------
+# Non-integer bin widths
+# ----------------------------------------------------------------------
+def test_fractional_bin_width_bin_count_rounds_up():
+    series = throughput_series([], start=0.0, end=1.0, bin_s=0.3)
+    assert len(series) == 4  # ceil(1.0 / 0.3)
+
+
+def test_fractional_bin_width_assignment():
+    records = [record(0.0), record(0.29), record(0.31), record(0.95)]
+    series = throughput_series(records, start=0.0, end=1.0, bin_s=0.3)
+    assert list(series.bits_per_bin) == [2000.0, 1000.0, 0.0, 1000.0]
+
+
+def test_fractional_bin_rates_use_bin_width():
+    series = throughput_series([record(0.1)], start=0.0, end=0.5, bin_s=0.5)
+    # 1000 bits in a 0.5 s bin is 2000 bps.
+    assert series.bps[0] == pytest.approx(2000.0)
+    assert series.kbps[0] == pytest.approx(2.0)
+
+
+def test_window_not_divisible_by_bin_clamps_overflow_index():
+    # end - start = 1.0 with bin_s = 0.4 -> 3 bins; a record at 0.99
+    # indexes past the last bin and must be clamped into it.
+    series = throughput_series([record(0.99)], start=0.0, end=1.0, bin_s=0.4)
+    assert list(series.bits_per_bin) == [0.0, 0.0, 1000.0]
+
+
+def test_bin_midpoint_times():
+    series = throughput_series([], start=2.0, end=4.0, bin_s=1.0)
+    assert list(series.times_s) == [2.5, 3.5]
+
+
+# ----------------------------------------------------------------------
+# Guard rails
+# ----------------------------------------------------------------------
+def test_inverted_window_rejected():
+    with pytest.raises(ValueError):
+        throughput_series([], start=5.0, end=5.0)
+    with pytest.raises(ValueError):
+        average_kbps([], 5.0, 4.0)
+
+
+def test_correlation_edge_cases():
+    with pytest.raises(ValueError):
+        correlation(np.array([1.0]), np.array([1.0, 2.0]))
+    assert correlation(np.array([1.0]), np.array([2.0])) == 0.0
+    assert correlation(np.array([1.0, 1.0]), np.array([1.0, 2.0])) == 0.0
+    assert correlation(
+        np.array([1.0, 2.0, 3.0]), np.array([2.0, 4.0, 6.0])
+    ) == pytest.approx(1.0)

@@ -59,3 +59,88 @@ def test_cli_solutions(capsys):
     assert main(["solutions", "--platform", "vrchat"]) == 0
     out = capsys.readouterr().out
     assert "p2p" in out and "forwarding" in out
+
+
+# ----------------------------------------------------------------------
+# Top-level flags and observability commands
+# ----------------------------------------------------------------------
+def test_cli_bare_invocation_prints_help_and_exits_zero(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "usage: repro" in out
+
+
+def test_cli_version_flag(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert f"repro {__version__}" in capsys.readouterr().out
+
+
+@pytest.fixture
+def _tiny_experiment():
+    from repro.measure.experiment import register_experiment, unregister_experiment
+
+    def tiny(seed=0):
+        from repro.simcore import Simulator
+
+        sim = Simulator(seed=seed)
+        for index in range(5):
+            sim.schedule(0.1 * (index + 1), lambda: None)
+        sim.run()
+        return sim.now
+
+    register_experiment("cli-obs-tiny", tiny, artifact="test", replace=True)
+    yield
+    unregister_experiment("cli-obs-tiny")
+
+
+def test_cli_trace_runs_experiment(_tiny_experiment, capsys):
+    assert main(["trace", "cli-obs-tiny", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "experiment: cli-obs-tiny (1 simulation(s))" in out
+    assert "sim.events_dispatched" in out
+    assert "span profile" in out
+
+
+def test_cli_trace_unknown_experiment(capsys):
+    assert main(["trace", "does-not-exist"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_cli_trace_jsonl_output(_tiny_experiment, tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "trace.jsonl"
+    assert main(["trace", "cli-obs-tiny", "--output", str(out_path)]) == 0
+    lines = [json.loads(line) for line in out_path.read_text().splitlines()]
+    events = {line["event"] for line in lines}
+    assert "metric" in events and "trace" in events
+
+
+def test_cli_metrics_out_generic_subcommand(_tiny_experiment, tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "metrics.json"
+    assert (
+        main(
+            [
+                "campaign",
+                "--experiments",
+                "cli-obs-tiny",
+                "--serial",
+                "--no-cache",
+                "--metrics-out",
+                str(tmp_path / "task-metrics"),
+            ]
+        )
+        == 0
+    )
+    assert any((tmp_path / "task-metrics").iterdir())
+    # Generic path: any subcommand runs under a collector.
+    assert main(["trace", "cli-obs-tiny", "--metrics-out", str(out_path)]) == 0
+    dump = json.loads(out_path.read_text())
+    names = {c["name"] for c in dump["metrics"]["counters"]}
+    assert "sim.events_dispatched" in names

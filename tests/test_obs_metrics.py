@@ -1,0 +1,174 @@
+"""Unit tests for repro.obs metrics, registry, and exporters."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    format_labels,
+    sanitize_metric_name,
+    to_prometheus,
+)
+from repro.obs.export import render, write_json, write_jsonl
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+def test_counter_get_or_create_and_inc():
+    registry = MetricsRegistry()
+    counter = registry.counter("pkts", link="a")
+    counter.inc()
+    counter.inc(4)
+    assert registry.counter("pkts", link="a") is counter
+    assert counter.value == 5.0
+
+
+def test_label_sets_are_distinct_metrics():
+    registry = MetricsRegistry()
+    registry.counter("pkts", link="a").inc(1)
+    registry.counter("pkts", link="b").inc(2)
+    assert registry.value("pkts", link="a") == 1
+    assert registry.value("pkts", link="b") == 2
+    assert registry.total("pkts") == 3
+
+
+def test_label_order_does_not_matter():
+    registry = MetricsRegistry()
+    registry.counter("x", a="1", b="2").inc()
+    assert registry.counter("x", b="2", a="1").value == 1.0
+
+
+def test_gauge_set_and_read():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("depth")
+    assert gauge.read() == 0.0
+    gauge.set(7.5)
+    assert gauge.read() == 7.5
+
+
+def test_callback_gauge_reads_live_state():
+    registry = MetricsRegistry()
+    state = {"v": 1}
+    gauge = registry.gauge("live", fn=lambda: state["v"])
+    assert gauge.read() == 1.0
+    state["v"] = 9
+    assert gauge.read() == 9.0
+
+
+def test_histogram_buckets_and_summary():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", buckets=(1.0, 10.0))
+    for value in (0.5, 5.0, 50.0):
+        hist.observe(value)
+    assert hist.count == 3
+    assert hist.sum == 55.5
+    assert hist.mean == pytest.approx(18.5)
+    assert hist.min == 0.5 and hist.max == 50.0
+    # one per bucket, last is the +inf overflow bucket
+    assert hist.bucket_counts == [1, 1, 1]
+
+
+def test_registry_value_returns_none_for_unknown():
+    assert MetricsRegistry().value("nope") is None
+
+
+def test_registry_dump_is_json_able():
+    registry = MetricsRegistry()
+    registry.counter("c", k="v").inc(2)
+    registry.gauge("g").set(1.5)
+    registry.histogram("h").observe(0.25)
+    dump = json.loads(json.dumps(registry.dump()))
+    assert dump["counters"] == [{"name": "c", "labels": {"k": "v"}, "value": 2.0}]
+    assert dump["gauges"][0]["value"] == 1.5
+    assert dump["histograms"][0]["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# Null registry
+# ----------------------------------------------------------------------
+def test_null_registry_is_disabled_and_shared():
+    assert not NULL_REGISTRY.enabled
+    counter = NULL_REGISTRY.counter("anything", x="1")
+    counter.inc(100)
+    assert counter.value == 0.0
+    assert NULL_REGISTRY.counter("other") is counter
+    NULL_REGISTRY.gauge("g").set(5)
+    assert NULL_REGISTRY.gauge("g").read() == 0.0
+    NULL_REGISTRY.histogram("h").observe(1)
+    assert NULL_REGISTRY.dump() == {"counters": [], "gauges": [], "histograms": []}
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+def test_sanitize_metric_name():
+    assert sanitize_metric_name("net.link.bytes") == "net_link_bytes"
+    assert sanitize_metric_name("a-b.c") == "a_b_c"
+
+
+def test_format_labels():
+    assert format_labels(()) == ""
+    assert format_labels((("link", "u1->ap"),)) == '{link="u1->ap"}'
+
+
+def test_prometheus_exposition():
+    registry = MetricsRegistry()
+    registry.counter("net.bytes", link="a").inc(12)
+    registry.gauge("heap.depth").set(3)
+    registry.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+    text = to_prometheus(registry)
+    assert "# TYPE net_bytes_total counter" in text
+    assert 'net_bytes_total{link="a"} 12' in text
+    assert "heap_depth 3" in text
+    assert 'lat_bucket{le="0.1"} 1' in text
+    assert 'lat_bucket{le="+Inf"} 1' in text
+    assert "lat_sum 0.05" in text
+    assert "lat_count 1" in text
+
+
+def test_prometheus_histogram_buckets_are_cumulative():
+    registry = MetricsRegistry()
+    hist = registry.histogram("d", buckets=(1.0, 2.0))
+    hist.observe(0.5)
+    hist.observe(1.5)
+    text = to_prometheus(registry)
+    assert 'd_bucket{le="1"} 1' in text
+    assert 'd_bucket{le="2"} 2' in text
+    assert 'd_bucket{le="+Inf"} 2' in text
+
+
+def test_render_table_and_clipping():
+    registry = MetricsRegistry()
+    for index in range(5):
+        registry.counter("c", i=str(index)).inc()
+    text = render(registry)
+    assert "counter" in text and "c" in text
+    clipped = render(registry, max_rows=2)
+    assert "(3 more)" in clipped
+
+
+def test_write_jsonl_creates_parents_and_counts_lines(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("c").inc(3)
+    dump = {
+        "metrics": registry.dump(),
+        "trace": {"events": [{"t": 0.0, "kind": "hop"}], "dropped": 2},
+    }
+    path = tmp_path / "deep" / "nested" / "out.jsonl"
+    count = write_jsonl(dump, str(path))
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert count == len(lines) == 3  # metric + trace + trace_dropped
+    assert lines[0]["event"] == "metric"
+    assert lines[1]["event"] == "trace"
+    assert lines[2] == {"event": "trace_dropped", "count": 2}
+
+
+def test_write_json_creates_parents(tmp_path):
+    path = tmp_path / "a" / "b.json"
+    write_json({"metrics": {"counters": []}}, str(path))
+    assert json.loads(path.read_text()) == {"metrics": {"counters": []}}
+    assert os.path.isdir(tmp_path / "a")

@@ -87,7 +87,7 @@ def test_cli_viewport(capsys):
 
 
 def test_cli_no_command_shows_help(capsys):
-    assert main([]) == 2
+    assert main([]) == 0
     assert "usage" in capsys.readouterr().out.lower()
 
 

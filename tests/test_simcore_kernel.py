@@ -120,3 +120,27 @@ def test_determinism_across_instances():
 
     assert trace(7) == trace(7)
     assert trace(7) != trace(8)
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+def test_schedule_rejects_non_finite_delay(sim, bad):
+    with pytest.raises(SimulationError, match="finite"):
+        sim.schedule(bad, lambda: None)
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+def test_schedule_at_rejects_non_finite_time(sim, bad):
+    with pytest.raises(SimulationError, match="finite"):
+        sim.schedule_at(bad, lambda: None)
+
+
+def test_nan_rejection_keeps_heap_usable(sim):
+    """A rejected NaN must not corrupt event ordering (NaN comparisons
+    are all False, which would silently break heapq invariants)."""
+    with pytest.raises(SimulationError):
+        sim.schedule(float("nan"), lambda: None)
+    order = []
+    for delay in (3.0, 1.0, 2.0):
+        sim.schedule(delay, order.append, delay)
+    sim.run()
+    assert order == [1.0, 2.0, 3.0]

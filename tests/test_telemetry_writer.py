@@ -1,0 +1,43 @@
+"""TelemetryWriter file handling: parent dirs, close semantics."""
+
+import json
+
+import pytest
+
+from repro.runner import TelemetryWriter
+
+
+def test_creates_parent_directories(tmp_path):
+    path = tmp_path / "runs" / "2026-08" / "campaign.jsonl"
+    with TelemetryWriter(str(path)) as telemetry:
+        telemetry.emit("campaign_start", n_tasks=1)
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert lines[0]["event"] == "campaign_start"
+
+
+def test_close_is_idempotent(tmp_path):
+    telemetry = TelemetryWriter(str(tmp_path / "t.jsonl"))
+    telemetry.close()
+    telemetry.close()  # second close must not raise
+
+
+def test_emit_after_close_raises_clear_error(tmp_path):
+    telemetry = TelemetryWriter(str(tmp_path / "t.jsonl"))
+    telemetry.emit("ok")
+    telemetry.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        telemetry.emit("too_late")
+
+
+def test_emit_after_close_raises_without_file_too():
+    telemetry = TelemetryWriter()  # in-memory only
+    telemetry.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        telemetry.emit("too_late")
+
+
+def test_memory_only_writer_needs_no_path():
+    telemetry = TelemetryWriter()
+    telemetry.emit("a", x=1)
+    assert telemetry.count("a") == 1
+    assert telemetry.select("a")[0]["x"] == 1
