@@ -210,6 +210,32 @@ def _build_parser() -> argparse.ArgumentParser:
     event.add_argument("--duration", type=float, default=180.0)
     event.set_defaults(handler=_cmd_public_event)
 
+    scale = add_parser(
+        "scale",
+        help="fluid fan-out: project the testbed calibration to "
+        "metaverse-scale populations",
+    )
+    scale.add_argument("--platform", default="vrchat")
+    scale.add_argument("--rooms", type=int, default=1000)
+    scale.add_argument("--users-per-room", type=int, default=20)
+    scale.add_argument("--duration", type=float, default=300.0)
+    scale.add_argument("--bin", type=float, default=5.0)
+    scale.add_argument(
+        "--architecture",
+        choices=("forwarding", "p2p", "interest", "remote-rendering"),
+        default="forwarding",
+        help="architecture to fan out (the capacity table always compares all four)",
+    )
+    scale.add_argument("--seed", type=int, default=0)
+    scale.add_argument("--workers", type=int, default=None)
+    scale.add_argument(
+        "--serial", action="store_true", help="run shards in-process"
+    )
+    scale.add_argument(
+        "--no-churn", action="store_true", help="constant room occupancy"
+    )
+    scale.set_defaults(handler=_cmd_scale)
+
     export = add_parser(
         "export-pcap", help="run a session and export U1's capture"
     )
@@ -663,6 +689,53 @@ def _cmd_public_event(args) -> int:
         f"\ndownlink ~= {result.per_user_kbps:.1f} Kbps/user "
         f"(R^2={result.fit.r2:.3f}) — per-avatar cost recovered from churn"
     )
+    return 0
+
+
+def _cmd_scale(args) -> int:
+    from .scale import ScaleScenario, capacity_table, plan_capacity, run_sharded
+
+    scenario = ScaleScenario(
+        platform=args.platform,
+        architecture=args.architecture,
+        users_per_room=args.users_per_room,
+        duration_s=args.duration,
+        bin_s=args.bin,
+        churn=not args.no_churn,
+    )
+    result = run_sharded(
+        scenario,
+        args.rooms,
+        seed=args.seed,
+        parallel=False if args.serial else None,
+        max_workers=args.workers,
+    )
+    total = result.total_users
+    print(
+        f"{scenario.platform} / {scenario.architecture}: "
+        f"{result.n_rooms:,} rooms x {scenario.users_per_room} users "
+        f"({total:,} users) over {scenario.duration_s:.0f} s"
+    )
+    print(
+        f"  mean concurrent users: {result.mean_concurrent_users:,.0f}  "
+        f"(churn {'on' if scenario.churn else 'off'}, "
+        f"peak room occupancy {result.peak_occupancy})"
+    )
+    print(
+        f"  aggregate server egress: mean {result.mean_egress_gbps:.2f} Gbps, "
+        f"peak {result.peak_egress_gbps:.2f} Gbps "
+        f"(peak single room {result.peak_room_egress_bps / 1e6:.1f} Mbps)"
+    )
+    print(
+        f"  simulated in {result.wall_time_s:.2f} s wall "
+        f"({result.shards} shards, {result.shard_wall_time_s:.2f} s task time)"
+    )
+    print()
+    print(f"Capacity plan for {total:,} concurrent users:")
+    plans = plan_capacity(
+        args.platform, total, users_per_room=args.users_per_room
+    )
+    print(capacity_table(plans))
     return 0
 
 

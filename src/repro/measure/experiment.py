@@ -47,6 +47,7 @@ def _build_registry() -> typing.Dict[str, ExperimentSpec]:
         viewport_width_experiment,
     )
     from ..core.solutions import compare_solutions
+    from ..scale.shard import metaverse_scale_experiment
     from .infrastructure import regional_study
     from .prediction import run_viewport_tradeoff
     from .workload import run_public_event
@@ -163,6 +164,12 @@ def _build_registry() -> typing.Dict[str, ExperimentSpec]:
             "Sec. 6.2/6.3 (ablation)",
             "forwarding vs P2P vs interest scoping",
             compare_solutions,
+        ),
+        ExperimentSpec(
+            "metaverse-scale",
+            "Sec. 7 (projection)",
+            "fluid fan-out to thousands of rooms + capacity plan",
+            metaverse_scale_experiment,
         ),
     ]
     return {spec.name: spec for spec in specs}

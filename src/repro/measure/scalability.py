@@ -120,13 +120,48 @@ def run_user_sweep(
     window_s: float = 20.0,
     seed: int = 0,
 ) -> typing.List[ScalabilityPoint]:
-    """Figs. 7/8: measure U1 as the event population grows."""
-    points = []
-    for index, count in enumerate(user_counts):
-        points.append(
+    """Figs. 7/8: measure U1 as the event population grows.
+
+    Each user-count point is an independent testbed build with its own
+    seed, so the sweep runs as a campaign: one task per point, executed
+    on the :mod:`repro.runner` process pool when safe (top-level
+    process, no active obs collector) and serially otherwise.  Results
+    are identical either way — every point owns its seed.
+    """
+    import multiprocessing
+
+    from ..obs.context import active_collector
+    from ..runner import TaskSpec, run_campaign
+
+    if not isinstance(platform, str):
+        # Profile objects are not worth shipping to workers; keep the
+        # rare ad-hoc-profile path serial and allocation-free.
+        return [
             _sweep_point(platform, count, window_s, seed=seed + index)
+            for index, count in enumerate(user_counts)
+        ]
+    specs = [
+        TaskSpec.create(
+            _sweep_point,
+            {"platform": platform, "n_users": count, "window_s": window_s},
+            seed=seed + index,
         )
-    return points
+        for index, count in enumerate(user_counts)
+    ]
+    parallel = (
+        len(specs) > 1
+        and multiprocessing.parent_process() is None
+        and active_collector() is None
+    )
+    campaign = run_campaign(
+        specs, parallel=parallel, max_retries=0, use_cache=False, cache_dir=None
+    )
+    if campaign.failures:
+        failure = campaign.failures[0]
+        raise RuntimeError(
+            f"sweep point {failure.spec.task_id} failed: {failure.error}"
+        )
+    return campaign.values()
 
 
 def _sweep_point(

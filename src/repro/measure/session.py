@@ -247,6 +247,24 @@ class Testbed:
         self.peers.extend(new_peers)
         return new_peers
 
+    def add_fluid_crowd(
+        self, count: int = 0, at: float = 2.0, circle_radius: float = 0.8
+    ):
+        """An aggregated crowd behind the same servers (hybrid fidelity).
+
+        One :class:`~repro.scale.hybrid.FluidCrowd` process injects all
+        crowd members' updates at the server — byte-identical on the
+        observed stations' access links to per-peer injection, at O(1)
+        simulator processes instead of O(crowd).
+        """
+        from ..scale.hybrid import FluidCrowd
+
+        crowd = FluidCrowd(
+            self.sim, self.deployment, self.room_id, circle_radius=circle_radius
+        )
+        crowd.start(at, initial_members=count)
+        return crowd
+
     def run(self, until: float) -> float:
         """Advance the simulation to absolute time ``until``."""
         return self.sim.run(until=until)

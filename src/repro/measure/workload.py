@@ -47,7 +47,14 @@ class PublicEventResult:
 
 
 class CrowdChurn:
-    """Drives lightweight peers in and out of a testbed's room."""
+    """Drives a fluid crowd in and out of a testbed's room.
+
+    The crowd rides :meth:`Testbed.add_fluid_crowd` — one aggregation
+    process injecting every member's updates at the server — so a
+    churning public event costs the simulator O(1) processes however
+    large the room gets, while the observed station's traffic stays
+    byte-identical to per-peer injection.
+    """
 
     def __init__(
         self,
@@ -63,35 +70,28 @@ class CrowdChurn:
         self.churn_interval_s = churn_interval_s
         self.churn_probability = churn_probability
         self._rng = testbed.sim.rng("crowd-churn")
-        self._active: list = []
-        self._next_index = 0
+        self.crowd = None
 
     def start(self, at: float) -> None:
-        sim = self.testbed.sim
         # Initial crowd: target minus the observed user.
-        initial = self.target_users - 1
-        peers = self.testbed.add_peers(initial, join_times=[at] * initial)
-        self._active.extend(peers)
-        self._next_index = initial
-        sim.schedule_at(at + self.churn_interval_s, self._churn)
+        self.crowd = self.testbed.add_fluid_crowd(
+            count=self.target_users - 1, at=at
+        )
+        self.testbed.sim.schedule_at(at + self.churn_interval_s, self._churn)
 
     def occupancy(self) -> int:
-        return 1 + len(self._active)
+        crowd_size = self.crowd.size if self.crowd is not None else 0
+        return 1 + crowd_size
 
     def _churn(self) -> None:
         sim = self.testbed.sim
         if self._rng.random() < self.churn_probability:
-            if self._rng.random() < 0.5 and len(self._active) > 2:
+            if self._rng.random() < 0.5 and self.crowd.size > 2:
                 # A random attendee leaves.
-                index = self._rng.randrange(len(self._active))
-                peer = self._active.pop(index)
-                peer.stop()
+                self.crowd.leave(self._rng.randrange(self.crowd.size))
             elif self.occupancy() < self.target_users + 3:
                 # A new attendee arrives.
-                new_peers = self.testbed.add_peers(
-                    1, join_times=[sim.now + 0.1]
-                )
-                self._active.extend(new_peers)
+                self.crowd.join(1)
         sim.schedule(self.churn_interval_s, self._churn)
 
 

@@ -47,10 +47,15 @@ from ..server.rooms import MemberBinding, RoomRegistry
 from ..server.viewport_adaptive import ViewportAdaptiveServer
 from ..server.voice import SFU_PORT, VoiceSfu
 from ..simcore import Timeout
-from .spec import HTTPS_TRANSPORT, PlatformProfile, UDP_TRANSPORT
+from .spec import (
+    HTTPS_TRANSPORT,
+    OVERHEAD_INTERVAL_S,
+    TLS_FRAMING_BYTES,
+    UDP_IP_HEADER_BYTES as UDP_IP_HEADERS,
+    PlatformProfile,
+    UDP_TRANSPORT,
+)
 
-#: Session-chatter packet cadence.
-OVERHEAD_INTERVAL_S = 0.1
 #: Window for the missing-update (recovery) estimator.
 RECOVERY_WINDOW_S = 1.0
 #: Continuous TCP-gate time after which the Worlds UDP session dies
@@ -60,7 +65,6 @@ UDP_DEATH_GATE_S = 30.0
 #: stops updating in real time, Sec. 8.1). Reports arrive every ~10 s,
 #: so anything past 12 s means the sync response is being held up.
 CLOCK_STALE_S = 12.0
-UDP_IP_HEADERS = 28
 
 
 class FeatureUnavailableError(RuntimeError):
@@ -541,13 +545,7 @@ class PlatformClient:
 
     def _overhead_loop(self):
         spec = self.profile.data
-        up_payload = max(
-            16, int(spec.overhead_up_kbps * 1000.0 / 8.0 * OVERHEAD_INTERVAL_S) - UDP_IP_HEADERS
-        )
-        down_payload = max(
-            16,
-            int(spec.overhead_down_kbps * 1000.0 / 8.0 * OVERHEAD_INTERVAL_S) - UDP_IP_HEADERS,
-        )
+        up_payload, down_payload = spec.session_payload_bytes()
         keepalive_countdown = 0
         while True:
             yield Timeout(OVERHEAD_INTERVAL_S)
@@ -942,5 +940,8 @@ class LightweightPeer:
             else:
                 # Hubs relay path: size as the TLS-framed wire message.
                 self.server.relay_update(
-                    self.room_id, self.user_id, payload_bytes + 29, update
+                    self.room_id,
+                    self.user_id,
+                    payload_bytes + TLS_FRAMING_BYTES,
+                    update,
                 )

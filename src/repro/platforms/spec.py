@@ -22,6 +22,13 @@ from ..server.placement import PlacementSpec
 UDP_TRANSPORT = "udp"
 HTTPS_TRANSPORT = "https"
 
+#: Session-chatter packet cadence (client sends and server echoes).
+OVERHEAD_INTERVAL_S = 0.1
+#: UDP + IP header bytes per datagram.
+UDP_IP_HEADER_BYTES = 28
+#: TLS record framing added to each relayed Hubs message (<= 4 KB).
+TLS_FRAMING_BYTES = 29
+
 
 @dataclasses.dataclass(frozen=True)
 class FeatureSet:
@@ -110,6 +117,25 @@ class DataChannelSpec:
     #: head rotation instead of (or on top of) widening it; 0 = off
     #: (AltspaceVR's observed behaviour relies on width alone).
     viewport_prediction_horizon_s: float = 0.0
+
+    def session_payload_bytes(self) -> typing.Tuple[int, int]:
+        """Per-packet ``(up, down)`` session-chatter payloads.
+
+        Inverse of the wire-Kbps calibration at the
+        :data:`OVERHEAD_INTERVAL_S` cadence; both the packet client and
+        the fluid engine derive their session channel from this.
+        """
+        up = max(
+            16,
+            int(self.overhead_up_kbps * 1000.0 / 8.0 * OVERHEAD_INTERVAL_S)
+            - UDP_IP_HEADER_BYTES,
+        )
+        down = max(
+            16,
+            int(self.overhead_down_kbps * 1000.0 / 8.0 * OVERHEAD_INTERVAL_S)
+            - UDP_IP_HEADER_BYTES,
+        )
+        return up, down
 
 
 @dataclasses.dataclass(frozen=True)

@@ -1,0 +1,75 @@
+"""repro.scale — hybrid-fidelity fluid simulation for metaverse scale.
+
+The packet engine (``repro.platforms`` + ``repro.net``) is calibrated
+and validated at the paper's room sizes (2-28 users); this package
+projects the same calibration to 10^4-10^6 concurrent users:
+
+* :mod:`.aggregate` — closed-form per-channel rate models per room and
+  server architecture, byte-exact against the packet engine,
+* :mod:`.fluid` — piecewise-constant rate functions through fluid
+  queues (capacity, backlog, loss) plus the churn occupancy process,
+* :mod:`.hybrid` — packet-level observed stations with a fluid crowd
+  behind the same server (one process per room, not per attendee),
+* :mod:`.shard` — fan thousands of rooms across the
+  :mod:`repro.runner` campaign executor with per-room deterministic
+  seeding,
+* :mod:`.capacity` — fleet sizing and $/concurrent-user-hour per
+  architecture.
+
+See ``docs/SCALE.md`` for assumptions and the validity envelope.
+"""
+
+from .aggregate import (
+    ARCHITECTURES,
+    ChannelRate,
+    RoomModel,
+    expected_channel_payload_kbps,
+    room_model,
+)
+from .capacity import (
+    CapacityPlan,
+    CostModel,
+    capacity_table,
+    plan_capacity,
+)
+from .fluid import (
+    FluidQueueResult,
+    FluidRoomResult,
+    PiecewiseConstant,
+    churn_occupancy,
+    fluid_queue,
+    simulate_room,
+)
+from .hybrid import FluidCrowd
+from .shard import (
+    ScaleResult,
+    ScaleScenario,
+    metaverse_scale_experiment,
+    run_sharded,
+    shard_ranges,
+    simulate_shard,
+)
+
+__all__ = [
+    "ARCHITECTURES",
+    "CapacityPlan",
+    "ChannelRate",
+    "CostModel",
+    "FluidCrowd",
+    "FluidQueueResult",
+    "FluidRoomResult",
+    "PiecewiseConstant",
+    "RoomModel",
+    "ScaleResult",
+    "ScaleScenario",
+    "capacity_table",
+    "churn_occupancy",
+    "expected_channel_payload_kbps",
+    "fluid_queue",
+    "plan_capacity",
+    "room_model",
+    "run_sharded",
+    "shard_ranges",
+    "simulate_room",
+    "simulate_shard",
+]

@@ -1,0 +1,306 @@
+"""Per-room, per-channel rate models derived from platform profiles.
+
+The packet engine earns its keep at 2-28 users; this module is the
+bridge that lets the same calibration answer metaverse-scale questions.
+Every formula here is the closed-form steady state of a packet-engine
+behaviour, byte-for-byte:
+
+* avatar update payloads come from
+  :meth:`~repro.avatar.embodiment.EmbodimentProfile.update_payload_bytes`
+  (the codec's own sizing),
+* the forwarding server relays
+  :func:`~repro.server.forwarding.forwarded_size` bytes per update
+  (Hubs' HTTPS relay instead adds TLS framing and keeps the size),
+* session chatter uses
+  :meth:`~repro.platforms.spec.DataChannelSpec.session_payload_bytes`
+  at the shared 10 Hz cadence.
+
+Architectures mirror :mod:`repro.core.solutions`: plain forwarding
+(the paper's root-cause finding), P2P meshes, interest-scoped
+forwarding (Donnybrook-style), and remote rendering (Sec. 6.3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..platforms.profiles import get_profile
+from ..platforms.spec import (
+    HTTPS_TRANSPORT,
+    OVERHEAD_INTERVAL_S,
+    PlatformProfile,
+    TLS_FRAMING_BYTES,
+    UDP_IP_HEADER_BYTES,
+)
+from ..server.forwarding import forwarded_size
+from ..server.remote_rendering import HD_QUALITY, VideoQuality
+
+#: The four server architectures the planner compares.
+ARCHITECTURES = ("forwarding", "p2p", "interest", "remote-rendering")
+
+#: Approximate per-message TCP/IP cost of the Hubs HTTPS relay beyond
+#: the TLS record framing (one ~40 B TCP/IP header per pushed message;
+#: pure ACKs in the reverse direction are ignored — see docs/SCALE.md).
+TCP_IP_HEADER_BYTES = 40
+
+
+@dataclasses.dataclass(frozen=True)
+class ChannelRate:
+    """Steady-state rate of one traffic channel in one direction."""
+
+    channel: str  # "avatar" | "session" | "video"
+    direction: str  # "up" | "down"
+    packets_per_s: float
+    payload_bytes_per_s: float
+    wire_bytes_per_s: float
+
+    @property
+    def payload_kbps(self) -> float:
+        return self.payload_bytes_per_s * 8.0 / 1000.0
+
+    @property
+    def wire_kbps(self) -> float:
+        return self.wire_bytes_per_s * 8.0 / 1000.0
+
+
+@dataclasses.dataclass(frozen=True)
+class RoomModel:
+    """One room's steady-state rates, from the observed user's seat.
+
+    ``channels`` describe a single (observed) member; the ``server_*``
+    aggregates describe the whole room at the server.
+    """
+
+    platform: str
+    architecture: str
+    n_users: int
+    channels: typing.Tuple[ChannelRate, ...]
+    server_ingress_bytes_per_s: float
+    server_egress_bytes_per_s: float
+    server_updates_per_s: float
+
+    def channel(self, channel: str, direction: str) -> ChannelRate:
+        for rate in self.channels:
+            if rate.channel == channel and rate.direction == direction:
+                return rate
+        raise KeyError(f"no {direction} {channel!r} channel in this model")
+
+    def user_up_wire_bytes_per_s(self) -> float:
+        return sum(r.wire_bytes_per_s for r in self.channels if r.direction == "up")
+
+    def user_down_wire_bytes_per_s(self) -> float:
+        return sum(r.wire_bytes_per_s for r in self.channels if r.direction == "down")
+
+    @property
+    def user_down_mbps(self) -> float:
+        return self.user_down_wire_bytes_per_s() * 8.0 / 1e6
+
+    @property
+    def user_up_mbps(self) -> float:
+        return self.user_up_wire_bytes_per_s() * 8.0 / 1e6
+
+    @property
+    def server_egress_mbps(self) -> float:
+        return self.server_egress_bytes_per_s * 8.0 / 1e6
+
+
+def _resolve(platform: typing.Union[str, PlatformProfile]) -> PlatformProfile:
+    if isinstance(platform, PlatformProfile):
+        return platform
+    return get_profile(platform)
+
+
+def _viewport_factor(
+    profile: PlatformProfile, viewport_factor: typing.Union[float, str, None]
+) -> float:
+    """Fraction of updates the server actually forwards to a member.
+
+    ``None``/"controlled" models the testbed layout (observer facing
+    the room centre, crowd inside the viewport: nothing suppressed),
+    matching what the packet engine produces in the Fig. 6/7 setup.
+    "uniform" models a crowd with uniformly random headings, where a
+    viewport-adaptive server suppresses ``1 - width/360`` of traffic —
+    the right assumption for capacity planning.
+    """
+    if not profile.data.viewport_adaptive:
+        return 1.0
+    if viewport_factor is None or viewport_factor == "controlled":
+        return 1.0
+    if viewport_factor == "uniform":
+        return min(1.0, profile.data.server_viewport_deg / 360.0)
+    return float(viewport_factor)
+
+
+def room_model(
+    platform: typing.Union[str, PlatformProfile],
+    n_users: int,
+    architecture: str = "forwarding",
+    *,
+    viewport_factor: typing.Union[float, str, None] = None,
+    interest_set_size: int = 3,
+    background_divisor: int = 5,
+    video_quality: VideoQuality = HD_QUALITY,
+) -> RoomModel:
+    """Closed-form per-channel rates for one room of ``n_users``.
+
+    Defaults (muted users, no game) match the measurement testbed, so
+    the result is directly comparable to packet-engine runs.
+    """
+    if architecture not in ARCHITECTURES:
+        raise ValueError(
+            f"unknown architecture {architecture!r}; choose from {ARCHITECTURES}"
+        )
+    if n_users < 1:
+        raise ValueError(f"n_users must be >= 1, got {n_users}")
+    profile = _resolve(platform)
+    data = profile.data
+    relay = data.transport == HTTPS_TRANSPORT
+    rate_hz = data.update_rate_hz
+    payload = profile.embodiment.update_payload_bytes()
+    up_session, down_session = data.session_payload_bytes()
+    session_hz = 1.0 / OVERHEAD_INTERVAL_S
+    peers = n_users - 1
+
+    # Per-message header cost on the wire.
+    if relay:
+        per_msg = TLS_FRAMING_BYTES + TCP_IP_HEADER_BYTES
+    else:
+        per_msg = UDP_IP_HEADER_BYTES
+
+    # What one member's update turns into on a recipient's downlink.
+    if relay:
+        # The relay receives the TLS-framed size (payload + one record
+        # header) and its own push wraps it in another record.
+        fwd = payload + 2 * TLS_FRAMING_BYTES
+        fwd_wire = fwd + TCP_IP_HEADER_BYTES
+    else:
+        fwd = forwarded_size(payload, data.forward_fraction)
+        fwd_wire = fwd + UDP_IP_HEADER_BYTES
+
+    view = _viewport_factor(profile, viewport_factor)
+
+    channels = [
+        ChannelRate(
+            "avatar",
+            "up",
+            packets_per_s=rate_hz,
+            payload_bytes_per_s=payload * rate_hz,
+            wire_bytes_per_s=(payload + per_msg) * rate_hz,
+        ),
+        ChannelRate(
+            "session",
+            "up",
+            packets_per_s=session_hz,
+            payload_bytes_per_s=up_session * session_hz,
+            wire_bytes_per_s=(up_session + per_msg) * session_hz,
+        ),
+        ChannelRate(
+            "session",
+            "down",
+            # Hubs' session acks ride the HTTPS channel and are not
+            # separable as a session flow at the client (the packet
+            # client does not account them either).
+            packets_per_s=0.0 if relay else session_hz,
+            payload_bytes_per_s=0.0 if relay else down_session * session_hz,
+            wire_bytes_per_s=0.0 if relay else (down_session + per_msg) * session_hz,
+        ),
+    ]
+
+    server_updates = n_users * rate_hz
+    if architecture == "forwarding":
+        down_rate = peers * rate_hz * view
+        channels.append(
+            ChannelRate(
+                "avatar",
+                "down",
+                packets_per_s=down_rate,
+                payload_bytes_per_s=fwd * down_rate,
+                wire_bytes_per_s=fwd_wire * down_rate,
+            )
+        )
+        egress = n_users * fwd_wire * down_rate + n_users * (
+            0.0 if relay else (down_session + per_msg) * session_hz
+        )
+        ingress = n_users * ((payload + per_msg) * rate_hz + (up_session + per_msg) * session_hz)
+    elif architecture == "interest":
+        k = min(interest_set_size, peers)
+        effective = (k + (peers - k) / background_divisor) * rate_hz * view
+        channels.append(
+            ChannelRate(
+                "avatar",
+                "down",
+                packets_per_s=effective,
+                payload_bytes_per_s=fwd * effective,
+                wire_bytes_per_s=fwd_wire * effective,
+            )
+        )
+        egress = n_users * fwd_wire * effective + n_users * (
+            0.0 if relay else (down_session + per_msg) * session_hz
+        )
+        ingress = n_users * ((payload + per_msg) * rate_hz + (up_session + per_msg) * session_hz)
+        server_updates = n_users * rate_hz
+    elif architecture == "p2p":
+        # Every member uploads its update to each peer directly; the
+        # infrastructure only keeps the session/rendezvous plane.
+        up_rate = peers * rate_hz
+        channels[0] = ChannelRate(
+            "avatar",
+            "up",
+            packets_per_s=up_rate,
+            payload_bytes_per_s=payload * up_rate,
+            wire_bytes_per_s=(payload + per_msg) * up_rate,
+        )
+        channels.append(
+            ChannelRate(
+                "avatar",
+                "down",
+                packets_per_s=peers * rate_hz,
+                payload_bytes_per_s=payload * peers * rate_hz,
+                wire_bytes_per_s=(payload + per_msg) * peers * rate_hz,
+            )
+        )
+        egress = n_users * (0.0 if relay else (down_session + per_msg) * session_hz)
+        ingress = n_users * (up_session + per_msg) * session_hz
+        server_updates = 0.0
+    else:  # remote-rendering
+        video_bytes = video_quality.bitrate_bps / 8.0
+        channels.append(
+            ChannelRate(
+                "video",
+                "down",
+                packets_per_s=video_quality.fps,
+                payload_bytes_per_s=video_bytes,
+                wire_bytes_per_s=video_bytes
+                + video_quality.fps * UDP_IP_HEADER_BYTES,
+            )
+        )
+        egress = n_users * (
+            video_bytes
+            + video_quality.fps * UDP_IP_HEADER_BYTES
+            + (0.0 if relay else (down_session + per_msg) * session_hz)
+        )
+        ingress = n_users * ((payload + per_msg) * rate_hz + (up_session + per_msg) * session_hz)
+
+    return RoomModel(
+        platform=profile.name,
+        architecture=architecture,
+        n_users=n_users,
+        channels=tuple(channels),
+        server_ingress_bytes_per_s=ingress,
+        server_egress_bytes_per_s=egress,
+        server_updates_per_s=server_updates,
+    )
+
+
+def expected_channel_payload_kbps(
+    platform: typing.Union[str, PlatformProfile], n_users: int
+) -> typing.Dict[typing.Tuple[str, str], float]:
+    """Per-channel *payload* Kbps the packet client's obs counters
+    should report in the controlled testbed layout — the fluid side of
+    the cross-validation tests and benchmark."""
+    model = room_model(platform, n_users, "forwarding", viewport_factor="controlled")
+    out: typing.Dict[typing.Tuple[str, str], float] = {}
+    for rate in model.channels:
+        out[(rate.channel, rate.direction)] = rate.payload_kbps
+    return out

@@ -1,0 +1,386 @@
+"""Flow-level ("fluid") simulation: rates through capacities, no packets.
+
+A packet run of a forwarding room costs O(n^2 * rate * duration) kernel
+events; the fluid abstraction replaces the packet stream with a
+piecewise-constant *rate function* and pushes it through link
+capacities analytically.  Queueing, loss and shaping then cost O(number
+of rate breakpoints) instead of O(number of packets) — which is what
+makes 10^6-user scenarios tractable (the flow-level tradition of
+ns-2/fluid and the traffic-forecasting literature the ISSUE cites).
+
+Cross-validation against the packet engine lives in
+``tests/test_scale_agreement.py`` and ``benchmarks/bench_scale_engine.py``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import math
+import typing
+
+import numpy as np
+
+from ..capture.timeseries import ThroughputSeries
+from .aggregate import RoomModel, room_model
+
+
+class PiecewiseConstant:
+    """A right-open piecewise-constant function of time.
+
+    ``times`` holds ``n + 1`` ascending boundaries and ``values`` the
+    ``n`` segment values; ``f(t) = values[i]`` for
+    ``times[i] <= t < times[i + 1]`` and 0 outside the domain.
+    """
+
+    __slots__ = ("times", "values")
+
+    def __init__(
+        self, times: typing.Sequence[float], values: typing.Sequence[float]
+    ) -> None:
+        if len(times) != len(values) + 1:
+            raise ValueError(
+                f"need len(times) == len(values) + 1, got {len(times)}/{len(values)}"
+            )
+        for a, b in zip(times, times[1:]):
+            if b <= a:
+                raise ValueError("times must be strictly ascending")
+        self.times = list(times)
+        self.values = list(values)
+
+    @classmethod
+    def constant(
+        cls, value: float, start: float, end: float
+    ) -> "PiecewiseConstant":
+        return cls([start, end], [value])
+
+    @property
+    def start(self) -> float:
+        return self.times[0]
+
+    @property
+    def end(self) -> float:
+        return self.times[-1]
+
+    def at(self, t: float) -> float:
+        if t < self.start or t >= self.end:
+            return 0.0
+        index = bisect.bisect_right(self.times, t) - 1
+        return self.values[min(index, len(self.values) - 1)]
+
+    def integral(
+        self,
+        start: typing.Optional[float] = None,
+        end: typing.Optional[float] = None,
+    ) -> float:
+        """The integral of the function over ``[start, end)``."""
+        a = self.start if start is None else max(start, self.start)
+        b = self.end if end is None else min(end, self.end)
+        if b <= a:
+            return 0.0
+        total = 0.0
+        for t0, t1, value in zip(self.times, self.times[1:], self.values):
+            lo = max(t0, a)
+            hi = min(t1, b)
+            if hi > lo:
+                total += value * (hi - lo)
+        return total
+
+    def map(self, fn: typing.Callable[[float], float]) -> "PiecewiseConstant":
+        """A new function with ``fn`` applied to every segment value.
+
+        This is the occupancy -> rate bridge: apply a per-occupancy
+        rate model to an occupancy step function and the result is the
+        room's rate function, with churn breakpoints preserved.
+        """
+        return PiecewiseConstant(self.times, [fn(v) for v in self.values])
+
+    def scaled(self, factor: float) -> "PiecewiseConstant":
+        return PiecewiseConstant(self.times, [v * factor for v in self.values])
+
+    def __add__(self, other: "PiecewiseConstant") -> "PiecewiseConstant":
+        times = sorted(set(self.times) | set(other.times))
+        values = [
+            self.at(t0) + other.at(t0) for t0 in times[:-1]
+        ]
+        return PiecewiseConstant(times, values)
+
+    def bins(self, start: float, end: float, bin_s: float) -> np.ndarray:
+        """Per-bin integrals over ``[start, end)`` (e.g. bits per bin)."""
+        if end <= start:
+            raise ValueError(f"end ({end}) must exceed start ({start})")
+        n_bins = int(math.ceil((end - start) / bin_s))
+        out = np.zeros(n_bins)
+        for index in range(n_bins):
+            lo = start + index * bin_s
+            hi = min(end, lo + bin_s)
+            out[index] = self.integral(lo, hi)
+        return out
+
+    def to_series(self, start: float, end: float, bin_s: float) -> ThroughputSeries:
+        """Bin a bits-per-second function into a ThroughputSeries —
+        the same shape the packet sniffer pipeline produces."""
+        bits = self.bins(start, end, bin_s)
+        n_bins = len(bits)
+        times = start + (np.arange(n_bins) + 0.5) * bin_s
+        return ThroughputSeries(times, bits, bin_s)
+
+    def mean(
+        self,
+        start: typing.Optional[float] = None,
+        end: typing.Optional[float] = None,
+    ) -> float:
+        a = self.start if start is None else start
+        b = self.end if end is None else end
+        if b <= a:
+            return 0.0
+        return self.integral(a, b) / (b - a)
+
+    def peak(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclasses.dataclass
+class FluidQueueResult:
+    """Outcome of pushing an arrival rate through a finite-rate server."""
+
+    served: PiecewiseConstant  # egress rate (units/s)
+    backlog_times: typing.List[float]  # piecewise-linear backlog knots
+    backlog_values: typing.List[float]
+    offered_units: float
+    served_units: float
+    dropped_units: float
+
+    @property
+    def loss_fraction(self) -> float:
+        if self.offered_units <= 0:
+            return 0.0
+        return self.dropped_units / self.offered_units
+
+    @property
+    def max_backlog(self) -> float:
+        return max(self.backlog_values) if self.backlog_values else 0.0
+
+    def max_delay_s(self, capacity_units_per_s: float) -> float:
+        """Worst queueing delay implied by the backlog (FIFO drain)."""
+        if capacity_units_per_s <= 0:
+            return float("inf") if self.max_backlog > 0 else 0.0
+        return self.max_backlog / capacity_units_per_s
+
+
+def fluid_queue(
+    arrival: PiecewiseConstant,
+    capacity_units_per_s: float,
+    buffer_units: float = float("inf"),
+) -> FluidQueueResult:
+    """Deterministic fluid queue: arrivals above capacity build backlog,
+    backlog above ``buffer_units`` is dropped (tail drop).
+
+    This is how shaping and disruption scenarios work without packets:
+    a tc-netem rate limit becomes ``capacity_units_per_s`` and the
+    served function directly gives the post-bottleneck throughput.
+    """
+    if capacity_units_per_s < 0:
+        raise ValueError("capacity must be >= 0")
+    times: typing.List[float] = []
+    served: typing.List[float] = []
+    backlog_t = [arrival.start]
+    backlog_v = [0.0]
+    q = 0.0
+    dropped = 0.0
+
+    def emit(t0: float, t1: float, rate: float) -> None:
+        # ``times`` holds segment starts; boundaries are closed below.
+        if t1 <= t0:
+            return
+        times.append(t0)
+        served.append(rate)
+
+    for t0, t1, a in zip(arrival.times, arrival.times[1:], arrival.values):
+        t = t0
+        while t < t1 - 1e-12:
+            c = capacity_units_per_s
+            if q <= 0 and a <= c:
+                # Pass-through until the segment ends.
+                emit(t, t1, a)
+                t = t1
+            elif a > c:
+                # Backlog builds at (a - c); may hit the buffer bound.
+                net = a - c
+                if math.isinf(buffer_units):
+                    emit(t, t1, c)
+                    q += net * (t1 - t)
+                    t = t1
+                elif q < buffer_units:
+                    t_full = t + (buffer_units - q) / net
+                    if t_full >= t1:
+                        emit(t, t1, c)
+                        q += net * (t1 - t)
+                        t = t1
+                    else:
+                        emit(t, t_full, c)
+                        q = buffer_units
+                        t = t_full
+                else:
+                    # Buffer full: everything above capacity is dropped.
+                    emit(t, t1, c)
+                    dropped += net * (t1 - t)
+                    t = t1
+            else:
+                # Draining: serve at capacity until the queue empties.
+                drain = c - a
+                t_empty = t + (q / drain if drain > 0 else float("inf"))
+                if t_empty >= t1:
+                    emit(t, t1, c)
+                    q -= drain * (t1 - t)
+                    t = t1
+                else:
+                    emit(t, t_empty, c)
+                    q = 0.0
+                    t = t_empty
+            backlog_t.append(t)
+            backlog_v.append(q)
+
+    # Close the final segment boundary and collapse equal neighbours.
+    if not times:
+        times, served = [arrival.start], [0.0]
+    merged_times = [times[0]]
+    merged_values: typing.List[float] = [served[0]]
+    for start, rate in zip(times[1:], served[1:]):
+        if math.isclose(merged_values[-1], rate, abs_tol=1e-12):
+            continue
+        merged_times.append(start)
+        merged_values.append(rate)
+    merged_times.append(arrival.end)
+    served_fn = PiecewiseConstant(merged_times, merged_values)
+    offered = arrival.integral()
+    served_units = served_fn.integral()
+    return FluidQueueResult(
+        served=served_fn,
+        backlog_times=backlog_t,
+        backlog_values=backlog_v,
+        offered_units=offered,
+        served_units=served_units,
+        dropped_units=dropped,
+    )
+
+
+def churn_occupancy(
+    rng,
+    target_users: int,
+    duration_s: float,
+    churn_interval_s: float = 15.0,
+    churn_probability: float = 0.5,
+    start_s: float = 0.0,
+) -> PiecewiseConstant:
+    """A public-event occupancy step function (Sec. 6.2 churn model).
+
+    Mirrors :class:`repro.measure.workload.CrowdChurn`: every interval
+    the room flips a coin; on heads a random attendee leaves (never
+    below 3) or a new one arrives (never above ``target + 3``).
+    """
+    if target_users < 1:
+        raise ValueError("target_users must be >= 1")
+    times = [start_s]
+    values = [float(target_users)]
+    t = start_s + churn_interval_s
+    occupancy = target_users
+    while t < start_s + duration_s:
+        if rng.random() < churn_probability:
+            if rng.random() < 0.5 and occupancy > 3:
+                occupancy -= 1
+            elif occupancy < target_users + 3:
+                occupancy += 1
+        times.append(t)
+        values.append(float(occupancy))
+        t += churn_interval_s
+    times.append(start_s + duration_s)
+    return PiecewiseConstant(times, values)
+
+
+@dataclasses.dataclass
+class FluidRoomResult:
+    """One room simulated at fluid fidelity."""
+
+    platform: str
+    architecture: str
+    occupancy: PiecewiseConstant
+    #: Server egress for this room, wire bits/s.
+    egress_bps: PiecewiseConstant
+    #: One member's downlink, wire bits/s (post access-link shaping
+    #: when a capacity was given).
+    viewer_down_bps: PiecewiseConstant
+    user_seconds: float
+    egress_bits: float
+    dropped_bits: float
+
+    @property
+    def peak_egress_bps(self) -> float:
+        return self.egress_bps.peak()
+
+
+def simulate_room(
+    platform,
+    n_users: int,
+    duration_s: float,
+    *,
+    architecture: str = "forwarding",
+    occupancy: typing.Optional[PiecewiseConstant] = None,
+    rng=None,
+    churn_interval_s: float = 15.0,
+    churn_probability: float = 0.5,
+    access_capacity_bps: typing.Optional[float] = None,
+    viewport_factor: typing.Union[float, str, None] = "uniform",
+) -> FluidRoomResult:
+    """Simulate one room analytically.
+
+    ``occupancy`` overrides the churn model; with ``rng`` given and no
+    occupancy, a churning public event is generated. With neither, the
+    population is constant.  ``access_capacity_bps`` pushes the viewer
+    downlink through a fluid access-link queue, so throttling scenarios
+    (Sec. 8) work at this fidelity too.
+    """
+    if occupancy is None:
+        if rng is not None:
+            occupancy = churn_occupancy(
+                rng,
+                n_users,
+                duration_s,
+                churn_interval_s=churn_interval_s,
+                churn_probability=churn_probability,
+            )
+        else:
+            occupancy = PiecewiseConstant.constant(float(n_users), 0.0, duration_s)
+
+    models: typing.Dict[int, RoomModel] = {}
+
+    def model_for(count: float) -> RoomModel:
+        key = max(1, int(round(count)))
+        if key not in models:
+            models[key] = room_model(
+                platform, key, architecture, viewport_factor=viewport_factor
+            )
+        return models[key]
+
+    egress = occupancy.map(lambda k: model_for(k).server_egress_bytes_per_s * 8.0)
+    viewer_down = occupancy.map(
+        lambda k: model_for(k).user_down_wire_bytes_per_s() * 8.0
+    )
+    dropped_bits = 0.0
+    if access_capacity_bps is not None:
+        shaped = fluid_queue(viewer_down, access_capacity_bps)
+        dropped_bits = shaped.dropped_units
+        viewer_down = shaped.served
+    return FluidRoomResult(
+        platform=model_for(occupancy.values[0]).platform,
+        architecture=architecture,
+        occupancy=occupancy,
+        egress_bps=egress,
+        viewer_down_bps=viewer_down,
+        user_seconds=occupancy.integral(),
+        egress_bits=egress.integral(),
+        dropped_bits=dropped_bits,
+    )

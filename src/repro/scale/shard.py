@@ -1,0 +1,311 @@
+"""Shard thousands of fluid rooms across campaign workers.
+
+One fluid room costs microseconds, but a metaverse-scale scenario runs
+10^4-10^5 of them; this module partitions the room index space into
+shards, executes each shard as a :class:`~repro.runner.plan.TaskSpec`
+on the :mod:`repro.runner` process pool, and merges the per-shard
+binned series into one ThroughputSeries-compatible aggregate.
+
+Determinism is per *room*, not per shard: room ``i`` always derives its
+RNG from ``derive_seed(seed, "room:i")``, so the merged result is
+byte-identical no matter how many shards or workers executed it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import time
+import typing
+
+import numpy as np
+
+from ..capture.timeseries import ThroughputSeries
+from ..obs.context import active_collector, obs_of  # noqa: F401  (obs_of re-exported for shard workers)
+from ..simcore import derive_seed
+from .aggregate import ARCHITECTURES
+from .fluid import simulate_room
+
+
+@dataclasses.dataclass(frozen=True)
+class ScaleScenario:
+    """A metaverse-scale what-if, in picklable form."""
+
+    platform: str = "vrchat"
+    architecture: str = "forwarding"
+    users_per_room: int = 20
+    duration_s: float = 300.0
+    bin_s: float = 5.0
+    churn: bool = True
+    churn_interval_s: float = 15.0
+    churn_probability: float = 0.5
+    viewport_factor: typing.Union[float, str, None] = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.architecture not in ARCHITECTURES:
+            raise ValueError(
+                f"unknown architecture {self.architecture!r}; "
+                f"choose from {ARCHITECTURES}"
+            )
+        if self.users_per_room < 1:
+            raise ValueError("users_per_room must be >= 1")
+        if self.duration_s <= 0 or self.bin_s <= 0:
+            raise ValueError("duration_s and bin_s must be positive")
+
+
+def simulate_shard(
+    scenario: typing.Union[ScaleScenario, dict],
+    first_room: int,
+    n_rooms: int,
+    seed: int = 0,
+) -> dict:
+    """Simulate rooms ``[first_room, first_room + n_rooms)`` and return
+    a picklable partial aggregate.
+
+    Module-level and dict-in/dict-out so the campaign executor can ship
+    it to a worker by reference.  Room RNGs depend only on ``seed`` and
+    the absolute room index (never on the shard boundaries).
+    """
+    import random
+
+    if isinstance(scenario, tuple):
+        # The campaign planner canonicalizes dict kwargs into sorted
+        # (name, value) pair tuples; thaw them back.
+        scenario = dict(scenario)
+    if isinstance(scenario, dict):
+        scenario = ScaleScenario(**scenario)
+    started = time.perf_counter()
+    n_bins = int(math.ceil(scenario.duration_s / scenario.bin_s))
+    egress_bits = np.zeros(n_bins)
+    viewer_bits = np.zeros(n_bins)
+    user_seconds = 0.0
+    peak_egress_bps = 0.0
+    peak_occupancy = 0
+    for room in range(first_room, first_room + n_rooms):
+        rng = (
+            random.Random(derive_seed(seed, f"room:{room}"))
+            if scenario.churn
+            else None
+        )
+        result = simulate_room(
+            scenario.platform,
+            scenario.users_per_room,
+            scenario.duration_s,
+            architecture=scenario.architecture,
+            rng=rng,
+            churn_interval_s=scenario.churn_interval_s,
+            churn_probability=scenario.churn_probability,
+            viewport_factor=scenario.viewport_factor,
+        )
+        egress_bits += result.egress_bps.bins(0.0, scenario.duration_s, scenario.bin_s)
+        viewer_bits += result.viewer_down_bps.bins(
+            0.0, scenario.duration_s, scenario.bin_s
+        )
+        user_seconds += result.user_seconds
+        peak_egress_bps = max(peak_egress_bps, result.peak_egress_bps)
+        peak_occupancy = max(peak_occupancy, int(max(result.occupancy.values)))
+    return {
+        "first_room": first_room,
+        "n_rooms": n_rooms,
+        "egress_bits_per_bin": egress_bits.tolist(),
+        "viewer_bits_per_bin": viewer_bits.tolist(),
+        "user_seconds": user_seconds,
+        "peak_room_egress_bps": peak_egress_bps,
+        "peak_occupancy": peak_occupancy,
+        "wall_time_s": time.perf_counter() - started,
+    }
+
+
+@dataclasses.dataclass
+class ScaleResult:
+    """Merged outcome of a sharded metaverse-scale run."""
+
+    scenario: ScaleScenario
+    n_rooms: int
+    seed: int
+    shards: int
+    egress_series: ThroughputSeries  # aggregate server egress, all rooms
+    viewer_series: ThroughputSeries  # mean per-room viewer downlink basis
+    user_seconds: float
+    peak_room_egress_bps: float
+    peak_occupancy: int
+    wall_time_s: float
+    shard_wall_time_s: float
+
+    @property
+    def total_users(self) -> int:
+        return self.n_rooms * self.scenario.users_per_room
+
+    @property
+    def mean_concurrent_users(self) -> float:
+        return self.user_seconds / self.scenario.duration_s
+
+    @property
+    def mean_egress_gbps(self) -> float:
+        return float(self.egress_series.bps.mean()) / 1e9
+
+    @property
+    def peak_egress_gbps(self) -> float:
+        return float(self.egress_series.bps.max()) / 1e9
+
+
+def shard_ranges(n_rooms: int, shards: int) -> typing.List[typing.Tuple[int, int]]:
+    """Contiguous ``(first_room, count)`` partitions covering all rooms."""
+    if n_rooms < 1:
+        raise ValueError("n_rooms must be >= 1")
+    shards = max(1, min(shards, n_rooms))
+    base, extra = divmod(n_rooms, shards)
+    ranges = []
+    first = 0
+    for index in range(shards):
+        count = base + (1 if index < extra else 0)
+        ranges.append((first, count))
+        first += count
+    return ranges
+
+
+def run_sharded(
+    scenario: ScaleScenario,
+    n_rooms: int,
+    *,
+    seed: int = 0,
+    shards: typing.Optional[int] = None,
+    parallel: typing.Optional[bool] = None,
+    max_workers: typing.Optional[int] = None,
+) -> ScaleResult:
+    """Fan ``n_rooms`` fluid rooms out over the campaign executor.
+
+    ``parallel=None`` auto-disables the process pool inside campaign
+    workers (no nested pools) and under an active obs collector (whose
+    registries are process-local).
+    """
+    import multiprocessing
+    import os
+
+    from ..runner import TaskSpec, run_campaign
+
+    started = time.perf_counter()
+    if shards is None:
+        shards = min(4 * (os.cpu_count() or 4), max(1, n_rooms // 50) or 1)
+    ranges = shard_ranges(n_rooms, shards)
+    if parallel is None:
+        parallel = (
+            len(ranges) > 1
+            and multiprocessing.parent_process() is None
+            and active_collector() is None
+        )
+    scenario_dict = dataclasses.asdict(scenario)
+    specs = [
+        TaskSpec.create(
+            simulate_shard,
+            {"scenario": scenario_dict, "first_room": first, "n_rooms": count},
+            seed=seed,
+        )
+        for first, count in ranges
+    ]
+    campaign = run_campaign(
+        specs,
+        parallel=parallel,
+        max_workers=max_workers,
+        max_retries=0,
+        use_cache=False,
+        cache_dir=None,
+    )
+    if campaign.failures:
+        failure = campaign.failures[0]
+        raise RuntimeError(
+            f"scale shard {failure.spec.task_id} failed: {failure.error}"
+        )
+    partials = campaign.values()
+    # Merge in room order (shard ranges are emitted in room order, and
+    # campaign results come back in plan order).
+    n_bins = int(math.ceil(scenario.duration_s / scenario.bin_s))
+    egress_bits = np.zeros(n_bins)
+    viewer_bits = np.zeros(n_bins)
+    user_seconds = 0.0
+    peak_room = 0.0
+    peak_occupancy = 0
+    shard_wall = 0.0
+    for partial in partials:
+        egress_bits += np.asarray(partial["egress_bits_per_bin"])
+        viewer_bits += np.asarray(partial["viewer_bits_per_bin"])
+        user_seconds += partial["user_seconds"]
+        peak_room = max(peak_room, partial["peak_room_egress_bps"])
+        peak_occupancy = max(peak_occupancy, partial["peak_occupancy"])
+        shard_wall += partial["wall_time_s"]
+    times = (np.arange(n_bins) + 0.5) * scenario.bin_s
+    result = ScaleResult(
+        scenario=scenario,
+        n_rooms=n_rooms,
+        seed=seed,
+        shards=len(ranges),
+        egress_series=ThroughputSeries(times, egress_bits, scenario.bin_s),
+        viewer_series=ThroughputSeries(
+            times, viewer_bits / max(1, n_rooms), scenario.bin_s
+        ),
+        user_seconds=user_seconds,
+        peak_room_egress_bps=peak_room,
+        peak_occupancy=peak_occupancy,
+        wall_time_s=time.perf_counter() - started,
+        shard_wall_time_s=shard_wall,
+    )
+    collector = active_collector()
+    if collector is not None:
+        obs = collector.new_observability()
+        obs.registry.counter("scale.rooms_simulated").inc(n_rooms)
+        obs.registry.counter("scale.user_seconds").inc(user_seconds)
+        obs.registry.counter("scale.egress_bits").inc(float(egress_bits.sum()))
+        obs.tracer.emit(
+            "scale",
+            scenario=scenario.platform,
+            architecture=scenario.architecture,
+            rooms=n_rooms,
+            shards=len(ranges),
+            wall_s=round(result.wall_time_s, 3),
+        )
+    return result
+
+
+def metaverse_scale_experiment(
+    platform: str = "vrchat",
+    rooms: int = 1000,
+    users_per_room: int = 20,
+    duration_s: float = 120.0,
+    architecture: str = "forwarding",
+    seed: int = 0,
+) -> dict:
+    """Registry/campaign entry point: fluid fan-out + capacity plan.
+
+    Returns a picklable summary so it can run as a campaign task.
+    """
+    from .capacity import plan_capacity
+
+    scenario = ScaleScenario(
+        platform=platform,
+        architecture=architecture,
+        users_per_room=users_per_room,
+        duration_s=duration_s,
+    )
+    result = run_sharded(scenario, rooms, seed=seed, parallel=None)
+    return {
+        "platform": platform,
+        "architecture": architecture,
+        "rooms": rooms,
+        "total_users": result.total_users,
+        "mean_concurrent_users": result.mean_concurrent_users,
+        "mean_egress_gbps": result.mean_egress_gbps,
+        "peak_egress_gbps": result.peak_egress_gbps,
+        "wall_time_s": result.wall_time_s,
+        "capacity": [
+            {
+                "architecture": plan.architecture,
+                "servers": plan.servers,
+                "gpu_servers": plan.gpu_servers,
+                "egress_gbps": plan.egress_gbps,
+                "usd_per_ccu_hour": plan.usd_per_ccu_hour,
+            }
+            for plan in plan_capacity(
+                platform, result.total_users, users_per_room=users_per_room
+            )
+        ],
+    }

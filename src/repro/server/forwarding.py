@@ -33,6 +33,16 @@ DATA_PORT = 7777
 INTER_INSTANCE_DELAY_S = 0.001
 
 
+def forwarded_size(payload_bytes: int, forward_fraction: float) -> int:
+    """Bytes the server relays per ingested update (never below 1).
+
+    Shared by the packet server below and the fluid rate model
+    (:mod:`repro.scale.aggregate`), so both layers agree byte-for-byte
+    on what a forwarding server emits per update.
+    """
+    return max(1, int(payload_bytes * forward_fraction))
+
+
 class AvatarDataServer:
     """One physical data-channel server instance (UDP transport)."""
 
@@ -113,7 +123,7 @@ class AvatarDataServer:
             sender.pose_updated_at = self.sim.now
             if update.position is not None:
                 sender.pose = _pose_from_update(update)
-        forwarded_bytes = max(1, int(payload_bytes * self.forward_fraction))
+        forwarded_bytes = forwarded_size(payload_bytes, self.forward_fraction)
         observing = self._obs.enabled
         fanout = 0
         if observing:
