@@ -10,10 +10,16 @@ from .classify import (
     classify_by_protocol,
     protocol_label,
 )
-from .flows import Flow, FlowTable
+from .flows import Flow, FlowTable, StreamingFlowTable
 from .pcap import PcapPacket, export_sniffer, read_pcap, write_pcap
 from .sniffer import DOWNLINK, PacketRecord, Sniffer, UPLINK
-from .timeseries import ThroughputSeries, average_kbps, correlation, throughput_series
+from .timeseries import (
+    BinAccumulator,
+    ThroughputSeries,
+    average_kbps,
+    correlation,
+    throughput_series,
+)
 
 __all__ = [
     "CONTROL",
@@ -26,6 +32,8 @@ __all__ = [
     "protocol_label",
     "Flow",
     "FlowTable",
+    "StreamingFlowTable",
+    "BinAccumulator",
     "PcapPacket",
     "export_sniffer",
     "read_pcap",

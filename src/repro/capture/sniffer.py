@@ -5,6 +5,18 @@ reproduces that: it taps the access links of one user's device and
 records per-packet metadata (never payloads — everything downstream
 works from headers, as the paper's analysis had to, since all traffic is
 encrypted).
+
+Two capture modes coexist:
+
+* **Retained** (default): every packet becomes a :class:`PacketRecord`
+  in :attr:`Sniffer.records` — required for pcap export, flow
+  classification, and per-record latency analysis.
+* **Streaming** (``retain_records=False``): consumers register
+  accumulators up front (:meth:`Sniffer.stream_bins`,
+  :meth:`Sniffer.stream_flows`) and the tap feeds them directly, so a
+  long scalability run needs O(bins + flows) memory instead of holding
+  millions of record objects.  The streamed results are byte-identical
+  to their post-hoc equivalents.  Both modes can be combined.
 """
 
 from __future__ import annotations
@@ -20,7 +32,7 @@ UPLINK = "up"
 DOWNLINK = "down"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class PacketRecord:
     """Header metadata of one captured packet."""
 
@@ -45,35 +57,97 @@ class PacketRecord:
 class Sniffer:
     """Captures packets crossing a device's access links."""
 
-    def __init__(self, name: str = "ap-capture") -> None:
+    def __init__(self, name: str = "ap-capture", retain_records: bool = True) -> None:
         self.name = name
-        self.records: typing.List[PacketRecord] = []
+        self.retain_records = retain_records
+        self._records: typing.List[PacketRecord] = []
+        #: Packets seen (whether or not records are retained).
+        self.captured_packets = 0
         self.enabled = True
+        #: (direction filter, BinAccumulator.add) pairs fed by the tap.
+        self._bin_streams: typing.List[tuple] = []
+        #: Streaming flow tables fed by the tap.
+        self._flow_streams: typing.List[object] = []
 
+    @property
+    def records(self) -> typing.List[PacketRecord]:
+        if not self.retain_records:
+            raise RuntimeError(
+                f"sniffer {self.name!r} was created with retain_records=False, "
+                "so per-packet records were not kept. Per-record analyses "
+                "(pcap export, flow classification, latency) require "
+                "retain_records=True; binned throughput is available via "
+                "stream_bins()."
+            )
+        return self._records
+
+    # ------------------------------------------------------------------
+    # Streaming consumers
+    # ------------------------------------------------------------------
+    def stream_bins(
+        self,
+        start: float,
+        end: float,
+        bin_s: float = 1.0,
+        direction: typing.Optional[str] = None,
+    ):
+        """Register a :class:`~repro.capture.timeseries.BinAccumulator`
+        fed live from this sniffer's taps (optionally one direction)."""
+        from .timeseries import BinAccumulator
+
+        accumulator = BinAccumulator(start, end, bin_s)
+        self._bin_streams.append((direction, accumulator.add))
+        return accumulator
+
+    def stream_flows(self):
+        """Register a live :class:`~repro.capture.flows.StreamingFlowTable`."""
+        from .flows import StreamingFlowTable
+
+        table = StreamingFlowTable()
+        self._flow_streams.append(table)
+        return table
+
+    # ------------------------------------------------------------------
+    # Capture
+    # ------------------------------------------------------------------
     def attach_access_links(self, uplink: Link, downlink: Link) -> None:
         """Tap the device->AP and AP->device links."""
         uplink.add_tap(self._make_tap(UPLINK))
         downlink.add_tap(self._make_tap(DOWNLINK))
 
     def _make_tap(self, direction: str):
+        retain = self.retain_records
+        records_append = self._records.append
+
         def tap(packet: Packet, link: Link) -> None:
             if not self.enabled:
                 return
-            self.records.append(
-                PacketRecord(
-                    time=link.sim.now,
-                    src=packet.src,
-                    dst=packet.dst,
-                    protocol=packet.protocol,
-                    size=packet.size,
-                    direction=direction,
+            self.captured_packets += 1
+            time = link.sim._now
+            if self._bin_streams:
+                size = packet.size
+                for want, add in self._bin_streams:
+                    if want is None or want == direction:
+                        add(time, size)
+            for table in self._flow_streams:
+                table.observe(time, packet, direction)
+            if retain:
+                records_append(
+                    PacketRecord(
+                        time=time,
+                        src=packet.src,
+                        dst=packet.dst,
+                        protocol=packet.protocol,
+                        size=packet.size,
+                        direction=direction,
+                    )
                 )
-            )
 
         return tap
 
     def clear(self) -> None:
-        self.records.clear()
+        self._records.clear()
+        self.captured_packets = 0
 
     def filter(
         self,
@@ -106,4 +180,4 @@ class Sniffer:
         return sum(record.size for record in self.filter(**kwargs))
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._records) if self.retain_records else self.captured_packets

@@ -73,6 +73,51 @@ def throughput_series(
     return ThroughputSeries(times, bits, bin_s)
 
 
+class BinAccumulator:
+    """Streaming twin of :func:`throughput_series`.
+
+    Fed one packet at a time (via :meth:`Sniffer.stream_bins
+    <repro.capture.sniffer.Sniffer.stream_bins>`) instead of from a
+    retained record list, so long captures need O(bins) memory instead
+    of O(packets).  Binning uses the exact same index arithmetic as
+    :func:`throughput_series`, and per-bin sums are exact integer bit
+    counts either way — the resulting :class:`ThroughputSeries` is
+    byte-identical to the post-hoc one.
+    """
+
+    __slots__ = ("start", "end", "bin_s", "n_bins", "_bits")
+
+    def __init__(self, start: float, end: float, bin_s: float = 1.0) -> None:
+        if end <= start:
+            raise ValueError(f"end ({end}) must exceed start ({start})")
+        self.start = start
+        self.end = end
+        self.bin_s = bin_s
+        self.n_bins = int(np.ceil((end - start) / bin_s))
+        self._bits = [0] * self.n_bins
+
+    def add(self, time: float, size: int) -> None:
+        """Account one packet of ``size`` bytes captured at ``time``."""
+        if self.start <= time < self.end:
+            index = int((time - self.start) / self.bin_s)
+            if index >= self.n_bins:
+                index = self.n_bins - 1
+            self._bits[index] += size * 8
+
+    @property
+    def total_bits(self) -> int:
+        return sum(self._bits)
+
+    def average_kbps(self) -> float:
+        """Average throughput over the accumulator's full window."""
+        return self.total_bits / (self.end - self.start) / 1e3
+
+    def series(self) -> ThroughputSeries:
+        """The accumulated bins as a :class:`ThroughputSeries`."""
+        times = self.start + (np.arange(self.n_bins) + 0.5) * self.bin_s
+        return ThroughputSeries(times, np.asarray(self._bits, dtype=float), self.bin_s)
+
+
 def average_kbps(
     records: typing.Sequence[PacketRecord], start: float, end: float
 ) -> float:

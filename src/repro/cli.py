@@ -16,6 +16,12 @@ Usage::
 Any subcommand accepts ``--metrics-out PATH`` to additionally write the
 run's observability dump (metric registry + packet/span traces) as
 JSON; for ``campaign`` the path is a directory of per-task dumps.
+
+Any subcommand also accepts ``--profile``: the run executes under full
+observability and, after the normal output, prints the ten kernel
+callbacks that consumed the most dispatch wall time (from the
+``sim.callback_wall_s`` histograms) — the first place to look when a
+run is slower than expected.
 """
 
 from __future__ import annotations
@@ -34,20 +40,70 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
         parser.print_help()
         return 0
     metrics_out = getattr(args, "metrics_out", None)
-    if metrics_out and not getattr(args, "owns_metrics_out", False):
+    profile = getattr(args, "profile", False)
+    if (metrics_out or profile) and not getattr(args, "owns_metrics_out", False):
         # Generic path: run the subcommand under an obs collector and
         # dump everything its simulators recorded.  Subcommands that
         # manage collection themselves (campaign, trace) opt out via
         # ``owns_metrics_out``.
         from .obs import collect
-        from .obs.export import write_json
 
         with collect() as collector:
             status = args.handler(args)
-        write_json(collector.merged_dump(), metrics_out)
-        print(f"[metrics written to {metrics_out}]")
+        if metrics_out:
+            from .obs.export import write_json
+
+            write_json(collector.merged_dump(), metrics_out)
+            print(f"[metrics written to {metrics_out}]")
+        if profile:
+            _print_callback_profile(
+                _callback_entries_from_dump(collector.merged_dump())
+            )
         return status
     return args.handler(args)
+
+
+def _callback_entries_from_dump(dump: dict) -> typing.List[dict]:
+    """``sim.callback_wall_s`` histogram rows from an observability dump."""
+    histograms = dump.get("metrics", {}).get("histograms", [])
+    return [h for h in histograms if h["name"] == "sim.callback_wall_s"]
+
+
+def _print_callback_profile(entries: typing.Iterable[dict]) -> None:
+    """Top-10 kernel callbacks by aggregate dispatch wall time."""
+    totals: typing.Dict[str, dict] = {}
+    for entry in entries:
+        label = entry.get("labels", {}).get("callback", "?")
+        row = totals.setdefault(
+            label, {"count": 0, "wall_s": 0.0, "max_s": 0.0}
+        )
+        row["count"] += entry["count"]
+        row["wall_s"] += entry["sum"]
+        row["max_s"] = max(row["max_s"], entry["max"])
+    if not totals:
+        print("\n[no kernel callbacks recorded — nothing to profile]")
+        return
+    ranked = sorted(totals.items(), key=lambda item: -item[1]["wall_s"])[:10]
+    rows = []
+    for label, row in ranked:
+        mean_us = row["wall_s"] / row["count"] * 1e6 if row["count"] else 0.0
+        rows.append(
+            [
+                label,
+                row["count"],
+                f"{row['wall_s']:.4f}",
+                f"{mean_us:.1f}",
+                f"{row['max_s'] * 1e3:.3f}",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["Callback", "Calls", "Wall (s)", "Mean (us)", "Max (ms)"],
+            rows,
+            title="kernel callback profile (top 10 by wall time)",
+        )
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -67,6 +123,12 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the observability dump (metrics + traces) as JSON "
         "(for 'campaign': a directory of per-task dumps)",
+    )
+    common.add_argument(
+        "--profile",
+        action="store_true",
+        help="after the run, print the top-10 kernel callbacks by "
+        "dispatch wall time",
     )
 
     def add_parser(name: str, **kwargs):
@@ -548,6 +610,7 @@ def _cmd_campaign(args) -> int:
         use_cache=not args.no_cache,
         telemetry_path=args.telemetry,
         metrics_dir=args.metrics_out,
+        collect_obs=args.profile,
     )
     rows = []
     for name in plan.experiments:
@@ -574,6 +637,12 @@ def _cmd_campaign(args) -> int:
     )
     print()
     print(campaign.summary.render())
+    if args.profile:
+        entries: typing.List[dict] = []
+        for result in campaign:
+            if result.metrics is not None:
+                entries.extend(_callback_entries_from_dump(result.metrics))
+        _print_callback_profile(entries)
     for failure in campaign.failures:
         print(f"FAILED {failure.spec.task_id}: {failure.error}", file=sys.stderr)
     if args.telemetry:
@@ -651,6 +720,9 @@ def _cmd_trace(args) -> int:
                 title="span profile (heaviest first)",
             )
         )
+
+    if args.profile:
+        _print_callback_profile(_callback_entries_from_dump(dump))
 
     if args.output:
         lines = write_jsonl(dump, args.output)

@@ -24,7 +24,6 @@ from ..avatar.motion import SnapTurnSequence, Stand, TimedTurn
 from ..avatar.pose import Vec3
 from ..avatar.viewport import TURN_STEP_DEG
 from ..capture.sniffer import DOWNLINK, UPLINK
-from ..capture.timeseries import average_kbps, throughput_series
 from .session import Testbed, download_drain_s
 from .stats import Summary, summarize
 
@@ -59,33 +58,31 @@ def run_join_timeline(
     seed: int = 0,
 ) -> JoinTimeline:
     """Fig. 6 (and 6(f) with ``facing_center_first=False``)."""
-    testbed = Testbed(platform, n_users=1, seed=seed)
+    testbed = Testbed(platform, n_users=1, seed=seed, retain_records=False)
     u1 = testbed.u1
     # U1 stands at the edge; joiners cluster at the centre.
     u1.client.pose.position = Vec3(3.0, 0.0, 0.0)
     toward_center = -90.0  # bearing from (3,0,0) to the origin
     initial = toward_center if facing_center_first else toward_center + 180.0
     u1.client.motion = TimedTurn(initial_yaw=initial, turn_at=turn_at, turn_deg=180.0)
+    # Start the reported series after U1's join download drains — the
+    # paper omits Hubs' initial data downloading from Fig. 6 too.  The
+    # bins accumulate as packets are captured; a five-minute join
+    # timeline never holds per-packet records.
+    series_start = 4.0 + download_drain_s(testbed.profile)
+    up_bins = u1.sniffer.stream_bins(
+        series_start, duration_s, bin_s=1.0, direction=UPLINK
+    )
+    down_bins = u1.sniffer.stream_bins(
+        series_start, duration_s, bin_s=1.0, direction=DOWNLINK
+    )
     testbed.start_all(join_at=2.0)
     join_times = [join_interval_s * (k + 1) for k in range(n_joiners)]
     testbed.add_peers(n_joiners, join_times=join_times, circle_radius=0.5)
     testbed.run(until=duration_s)
 
-    # Start the reported series after U1's join download drains — the
-    # paper omits Hubs' initial data downloading from Fig. 6 too.
-    series_start = 4.0 + download_drain_s(testbed.profile)
-    up = throughput_series(
-        [r for r in u1.sniffer.records if r.direction == UPLINK],
-        series_start,
-        duration_s,
-        bin_s=1.0,
-    )
-    down = throughput_series(
-        [r for r in u1.sniffer.records if r.direction == DOWNLINK],
-        series_start,
-        duration_s,
-        bin_s=1.0,
-    )
+    up = up_bins.series()
+    down = down_bins.series()
     return JoinTimeline(
         platform=testbed.profile.name,
         times_s=list(up.times_s),
@@ -167,22 +164,20 @@ def run_user_sweep(
 def _sweep_point(
     platform, n_users: int, window_s: float, seed: int
 ) -> ScalabilityPoint:
-    testbed = Testbed(platform, n_users=1, seed=seed)
+    testbed = Testbed(platform, n_users=1, seed=seed, retain_records=False)
     join_at = 2.0
-    testbed.start_all(join_at=join_at)
-    if n_users > 1:
-        testbed.add_peers(n_users - 1, join_times=[join_at] * (n_users - 1))
     download_drain = download_drain_s(testbed.profile)
     start = join_at + SETTLE_S + download_drain
     end = start + window_s
-    testbed.run(until=end)
     u1 = testbed.u1
-    down = throughput_series(
-        [r for r in u1.sniffer.records if r.direction == DOWNLINK], start, end, 1.0
-    )
-    up = throughput_series(
-        [r for r in u1.sniffer.records if r.direction == UPLINK], start, end, 1.0
-    )
+    down_bins = u1.sniffer.stream_bins(start, end, 1.0, direction=DOWNLINK)
+    up_bins = u1.sniffer.stream_bins(start, end, 1.0, direction=UPLINK)
+    testbed.start_all(join_at=join_at)
+    if n_users > 1:
+        testbed.add_peers(n_users - 1, join_times=[join_at] * (n_users - 1))
+    testbed.run(until=end)
+    down = down_bins.series()
+    up = up_bins.series()
     window = u1.sampler.window(start, end)
     return ScalabilityPoint(
         n_users=n_users,
@@ -232,7 +227,7 @@ def detect_viewport_width(
     brackets the server viewport's half-width; the paper derives
     ~150 degrees for AltspaceVR this way.
     """
-    testbed = Testbed(platform, n_users=2, seed=seed)
+    testbed = Testbed(platform, n_users=2, seed=seed, retain_records=False)
     u1, u2 = testbed.u1, testbed.u2
     # U2 stands still 4 m in front of where U1 initially faces *away*.
     u1.client.pose.position = Vec3(0.0, 0.0, 0.0)
@@ -246,23 +241,26 @@ def detect_viewport_width(
     u1.client.motion = turner
     n_steps = int(360.0 / TURN_STEP_DEG / 2) + 1  # half-turn plus margin
     end = start_turning + n_steps * step_hold_s
-    testbed.start_all(join_at=2.0)
-    testbed.run(until=end)
-
-    # Average downlink while each snap position was held (skipping the
-    # first second after each snap to let in-flight data settle).
-    overhead_kbps = testbed.profile.data.overhead_down_kbps
-    per_step = []
+    # One single-bin accumulator per held snap position (skipping the
+    # first 1.5 s after each snap to let in-flight data settle) —
+    # average downlink per window, streamed instead of retained.
+    windows = []
     for step in range(n_steps):
         window_start = start_turning + step * step_hold_s + 1.5
         window_end = start_turning + (step + 1) * step_hold_s
-        per_step.append(
-            average_kbps(
-                [r for r in u1.sniffer.records if r.direction == DOWNLINK],
+        windows.append(
+            u1.sniffer.stream_bins(
                 window_start,
                 window_end,
+                bin_s=window_end - window_start,
+                direction=DOWNLINK,
             )
         )
+    testbed.start_all(join_at=2.0)
+    testbed.run(until=end)
+
+    overhead_kbps = testbed.profile.data.overhead_down_kbps
+    per_step = [window.average_kbps() for window in windows]
     onset = None
     for step, kbps in enumerate(per_step):
         if kbps > overhead_kbps + 2.0:

@@ -85,7 +85,13 @@ class Testbed:
         devices: typing.Optional[typing.Sequence[str]] = None,
         room_id: str = DEFAULT_ROOM,
         muted: bool = True,
+        retain_records: bool = True,
     ) -> None:
+        """``retain_records=False`` puts every station's sniffer in
+        streaming mode: register accumulators via
+        ``station.sniffer.stream_bins(...)`` before running, and no
+        per-packet :class:`~repro.capture.sniffer.PacketRecord` objects
+        are kept (long runs then need O(bins) capture memory)."""
         if isinstance(platform, PlatformProfile):
             self.profile = platform
         else:
@@ -134,6 +140,7 @@ class Testbed:
             )
         self._n_users = n_users
         self._muted = muted
+        self._retain_records = retain_records
         self.stations: typing.List[UserStation] = []
         for index in range(n_users):
             self.stations.append(
@@ -158,7 +165,9 @@ class Testbed:
         netem_down = NetemQdisc(self.sim, rng_name=f"netem-down-{user_id}")
         uplink.attach_qdisc(netem_up)
         downlink.attach_qdisc(netem_down)
-        sniffer = Sniffer(f"ap-{user_id}-capture")
+        sniffer = Sniffer(
+            f"ap-{user_id}-capture", retain_records=self._retain_records
+        )
         sniffer.attach_access_links(uplink, downlink)
         client = PlatformClient(
             self.sim,

@@ -13,7 +13,6 @@ import dataclasses
 import typing
 
 from ..capture.sniffer import DOWNLINK
-from ..capture.timeseries import throughput_series
 from .session import Testbed, download_drain_s
 from .stats import LinearFit, linear_fit
 
@@ -103,8 +102,13 @@ def run_public_event(
     seed: int = 0,
 ) -> PublicEventResult:
     """Attend a churning public event and regress downlink on occupancy."""
-    testbed = Testbed(platform, n_users=1, seed=seed)
+    testbed = Testbed(platform, n_users=1, seed=seed, retain_records=False)
     join_at = 2.0
+    start = join_at + 10.0 + download_drain_s(testbed.profile)
+    end = start + duration_s
+    down_bins = testbed.u1.sniffer.stream_bins(
+        start, end, bin_s=bin_s, direction=DOWNLINK
+    )
     testbed.start_all(join_at=join_at)
     churn = CrowdChurn(testbed, target_users)
     churn.start(join_at)
@@ -115,17 +119,10 @@ def run_public_event(
         occupancy_log.append((testbed.sim.now, churn.occupancy()))
         testbed.sim.schedule(bin_s, record_occupancy)
 
-    start = join_at + 10.0 + download_drain_s(testbed.profile)
     testbed.sim.schedule_at(start + bin_s / 2, record_occupancy)
-    end = start + duration_s
     testbed.run(until=end)
 
-    series = throughput_series(
-        [r for r in testbed.u1.sniffer.records if r.direction == DOWNLINK],
-        start,
-        end,
-        bin_s=bin_s,
-    )
+    series = down_bins.series()
     samples = []
     for (when, occupants), kbps in zip(occupancy_log, series.kbps):
         samples.append(OccupancySample(when, occupants, float(kbps)))

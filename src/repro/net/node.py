@@ -41,9 +41,12 @@ class Node:
 
     def forward(self, packet: Packet) -> bool:
         """Send ``packet`` toward its destination; False if unroutable."""
-        link = self.route_for(packet.dst.ip)
+        # Inlined route_for: one flat-dict hit per hop on the fast path.
+        link = self.routes.get(packet.dst.ip.value)
         if link is None:
-            return False
+            link = self.default_route
+            if link is None:
+                return False
         link.send(packet)
         return True
 
@@ -57,9 +60,17 @@ class Node:
 class Router(Node):
     """A forwarding node that decrements TTL and reports expiry."""
 
+    def __init__(self, sim, name: str, location, ip: IPAddress) -> None:
+        super().__init__(sim, name, location, ip)
+        #: Packets dropped here because their TTL reached zero (each one
+        #: also triggers an ICMP time-exceeded reply toward the source).
+        self.ttl_dropped_packets = 0
+
     def receive(self, packet: Packet, link) -> None:
-        packet.ttl -= 1
-        if packet.ttl <= 0:
+        ttl = packet.ttl - 1
+        packet.ttl = ttl
+        if ttl <= 0:
+            self.ttl_dropped_packets += 1
             self._send_time_exceeded(packet)
             return
         self.forward(packet)
@@ -118,7 +129,7 @@ class Host(Node):
         """Originate ``packet`` from this host."""
         if packet.dst.ip.value in self.addresses:
             # Loopback delivery without touching the network.
-            self.sim.schedule(0.0, self.receive, packet, None)
+            self.sim._schedule_callback(0.0, self.receive, (packet, None))
             return True
         return self.forward(packet)
 

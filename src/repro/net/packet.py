@@ -8,7 +8,6 @@ Payloads are opaque Python objects interpreted only by endpoints.
 
 from __future__ import annotations
 
-import dataclasses
 import enum
 import itertools
 import typing
@@ -42,27 +41,50 @@ class Protocol(enum.Enum):
         return self.value
 
 
-@dataclasses.dataclass
 class Packet:
     """One IP packet in flight.
 
     ``size`` is the full on-the-wire size including all headers; it is
     what links, qdiscs, and the sniffer account. ``payload`` is only for
     endpoint logic.
+
+    A ``__slots__`` class rather than a dataclass: millions of packets
+    are allocated per run, and the slotted layout removes the per-packet
+    ``__dict__`` from the hot path.
     """
 
-    src: Endpoint
-    dst: Endpoint
-    protocol: Protocol
-    size: int
-    payload: typing.Any = None
-    created_at: float = 0.0
-    ttl: int = DEFAULT_TTL
-    packet_id: int = dataclasses.field(default_factory=lambda: next(_packet_ids))
+    __slots__ = (
+        "src",
+        "dst",
+        "protocol",
+        "size",
+        "payload",
+        "created_at",
+        "ttl",
+        "packet_id",
+    )
 
-    def __post_init__(self) -> None:
-        if self.size <= 0:
-            raise ValueError(f"packet size must be positive, got {self.size}")
+    def __init__(
+        self,
+        src: Endpoint,
+        dst: Endpoint,
+        protocol: Protocol,
+        size: int,
+        payload: typing.Any = None,
+        created_at: float = 0.0,
+        ttl: int = DEFAULT_TTL,
+        packet_id: typing.Optional[int] = None,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"packet size must be positive, got {size}")
+        self.src = src
+        self.dst = dst
+        self.protocol = protocol
+        self.size = size
+        self.payload = payload
+        self.created_at = created_at
+        self.ttl = ttl
+        self.packet_id = next(_packet_ids) if packet_id is None else packet_id
 
     @property
     def five_tuple(self) -> tuple:

@@ -194,7 +194,7 @@ class Network:
         for _, _, data in self.graph.edges(data=True):
             link = data.get("link")
             if link is not None:
-                total += len(link._queue) + (1 if link._transmitting else 0)
+                total += link.in_flight
         return total
 
     # ------------------------------------------------------------------

@@ -293,7 +293,7 @@ class PlatformClient:
         self.room_id: typing.Optional[str] = None
         self.in_game = False
         self.screen_share_kbps = 0.0
-        self._screen_share_process = None
+        self._screen_share_timer = None
         self.frozen = False
         self.udp_dead = False
         self.downloaded_bytes = 0
@@ -328,6 +328,10 @@ class PlatformClient:
         self.data_server = None
         self.voice: typing.Optional[WebRtcSession] = None
         self._processes: list = []
+        #: Periodic senders ride the shared tick scheduler (one kernel
+        #: event per firing time across all users) instead of one
+        #: generator process each.
+        self._timers: list = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -404,16 +408,21 @@ class PlatformClient:
                 yield Timeout(0.05)
         self._open_data_channel()
         self.stage = "event"
-        self._spawn(self._avatar_loop(), "avatar")
-        self._spawn(self._overhead_loop(), "overhead")
+        self._start_avatar_timer()
+        self._start_overhead_timer()
         if self.profile.control.report_interval_s is not None:
-            self._spawn(self._report_loop(), "report")
+            self._start_report_timer()
         if not self.muted:
-            self._spawn(self._voice_loop(), "voice")
+            self._start_voice_timer()
 
     def _spawn(self, generator, label: str) -> None:
         self._processes.append(
             self.sim.spawn(generator, name=f"{self.user_id}-{label}")
+        )
+
+    def _add_timer(self, interval: float, callback, first_delay=None) -> None:
+        self._timers.append(
+            self.sim.ticks.call_every(interval, callback, first_delay=first_delay)
         )
 
     def _open_data_channel(self) -> None:
@@ -457,6 +466,10 @@ class PlatformClient:
         if self.room_id is not None and self.stage == "event":
             self.deployment.leave_room(self.room_id, self.user_id)
         self.stage = "left"
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        self._screen_share_timer = None
         for process in self._processes:
             if process.alive:
                 process.kill()
@@ -465,51 +478,54 @@ class PlatformClient:
     # ------------------------------------------------------------------
     # Data-plane loops
     # ------------------------------------------------------------------
-    def _avatar_loop(self):
+    def _start_avatar_timer(self) -> None:
         spec = self.profile.data
-        interval = 1.0 / spec.update_rate_hz
-        game_bytes_per_tick = 0
+        self._avatar_interval = 1.0 / spec.update_rate_hz
+        self._game_bytes_per_tick = 0
         if spec.game_extra_up_kbps > 0:
-            game_bytes_per_tick = int(
-                spec.game_extra_up_kbps * 1000.0 / 8.0 * interval
+            self._game_bytes_per_tick = int(
+                spec.game_extra_up_kbps * 1000.0 / 8.0 * self._avatar_interval
             ) - UDP_IP_HEADERS
-        while True:
-            yield Timeout(interval)
-            if self.frozen:
-                continue
-            self.motion.step(self.pose, interval, self.sim.now, self._rng)
-            if self.personal_space is not None:
-                self.personal_space.enforce(
-                    self.pose,
-                    [
-                        state["position"]
-                        for state in self.remote_avatars.values()
-                        if state.get("position") is not None
-                        and self.sim.now - state.get("last_time", -10.0) < 3.0
-                    ],
-                )
-            self.activity += 0.08 * (1.0 - self.activity) + self._rng.gauss(0.0, 0.07)
-            self.activity = min(1.45, max(0.55, self.activity))
-            if self._udp_gated():
-                continue
-            # Recovery pressure makes the uplink stutter (Sec. 8.1).
-            if self.recovery_load > 0.3 and self._rng.random() < self.recovery_load * 0.6:
-                continue
-            action_id = None
-            if self.pending_actions:
-                action_id, t0 = self.pending_actions.pop(0)
-                self.sent_actions[action_id] = {"t0": t0, "sent_at": self.sim.now}
-            payload_bytes, update = self.codec.encode(
-                self.user_id,
+        self._add_timer(self._avatar_interval, self._avatar_tick)
+
+    def _avatar_tick(self) -> None:
+        if self.frozen:
+            return
+        now = self.sim.now
+        interval = self._avatar_interval
+        self.motion.step(self.pose, interval, now, self._rng)
+        if self.personal_space is not None:
+            self.personal_space.enforce(
                 self.pose,
-                self.sim.now,
-                expressions=self.expressions.active(self.sim.now),
-                action_id=action_id,
-                activity=self.activity,
+                [
+                    state["position"]
+                    for state in self.remote_avatars.values()
+                    if state.get("position") is not None
+                    and now - state.get("last_time", -10.0) < 3.0
+                ],
             )
-            self._send_avatar(payload_bytes, update)
-            if self.in_game and game_bytes_per_tick > 0:
-                self._send_game(max(64, game_bytes_per_tick))
+        self.activity += 0.08 * (1.0 - self.activity) + self._rng.gauss(0.0, 0.07)
+        self.activity = min(1.45, max(0.55, self.activity))
+        if self._udp_gated():
+            return
+        # Recovery pressure makes the uplink stutter (Sec. 8.1).
+        if self.recovery_load > 0.3 and self._rng.random() < self.recovery_load * 0.6:
+            return
+        action_id = None
+        if self.pending_actions:
+            action_id, t0 = self.pending_actions.pop(0)
+            self.sent_actions[action_id] = {"t0": t0, "sent_at": now}
+        payload_bytes, update = self.codec.encode(
+            self.user_id,
+            self.pose,
+            now,
+            expressions=self.expressions.active(now),
+            action_id=action_id,
+            activity=self.activity,
+        )
+        self._send_avatar(payload_bytes, update)
+        if self.in_game and self._game_bytes_per_tick > 0:
+            self._send_game(max(64, self._game_bytes_per_tick))
 
     def _count_tx(self, channel: str, payload_bytes: int) -> None:
         if self._obs.enabled:
@@ -543,78 +559,99 @@ class PlatformClient:
             ("avatar", self.room_id, self.user_id, None),
         )
 
-    def _overhead_loop(self):
-        spec = self.profile.data
-        up_payload, down_payload = spec.session_payload_bytes()
-        keepalive_countdown = 0
-        while True:
-            yield Timeout(OVERHEAD_INTERVAL_S)
-            if self.frozen or self.udp_dead:
-                continue
-            self._update_recovery_load()
-            if self._udp_gated():
-                # Only tiny keepalives while TCP has priority — the
-                # "tiny data exchanges over UDP" of Sec. 8.1.
-                keepalive_countdown -= 1
-                if keepalive_countdown <= 0 and self.data_socket is not None:
-                    keepalive_countdown = 10
-                    self._count_tx("session", 16)
-                    self.data_socket.send_to(
-                        self.data_endpoint,
-                        16,
-                        ("session", self.room_id, self.user_id, 16),
-                    )
-                continue
-            self._count_tx("session", up_payload)
-            if self.profile.data.transport == UDP_TRANSPORT:
+    def _start_overhead_timer(self) -> None:
+        up_payload, down_payload = self.profile.data.session_payload_bytes()
+        self._session_payloads = (up_payload, down_payload)
+        self._keepalive_countdown = 0
+        self._add_timer(OVERHEAD_INTERVAL_S, self._overhead_tick)
+
+    def _overhead_tick(self) -> None:
+        if self.frozen or self.udp_dead:
+            return
+        up_payload, down_payload = self._session_payloads
+        self._update_recovery_load()
+        if self._udp_gated():
+            # Only tiny keepalives while TCP has priority — the
+            # "tiny data exchanges over UDP" of Sec. 8.1.
+            self._keepalive_countdown -= 1
+            if self._keepalive_countdown <= 0 and self.data_socket is not None:
+                self._keepalive_countdown = 10
+                self._count_tx("session", 16)
                 self.data_socket.send_to(
                     self.data_endpoint,
-                    up_payload,
-                    ("session", self.room_id, self.user_id, down_payload),
+                    16,
+                    ("session", self.room_id, self.user_id, 16),
                 )
-            else:
-                self.data_https.channel.push(
-                    "session", up_payload, (self.room_id, self.user_id, down_payload)
-                )
-
-    def _report_loop(self):
-        spec = self.profile.control
-        while True:
-            yield Timeout(spec.report_interval_s * self._rng.uniform(0.95, 1.05))
-            name = "clock-sync" if spec.clock_sync else "report"
-            self.control.request(
-                name,
-                spec.report_up_bytes,
-                spec.report_down_bytes,
-                on_response=self._on_report_response,
+            return
+        self._count_tx("session", up_payload)
+        if self.profile.data.transport == UDP_TRANSPORT:
+            self.data_socket.send_to(
+                self.data_endpoint,
+                up_payload,
+                ("session", self.room_id, self.user_id, down_payload),
             )
+        else:
+            self.data_https.channel.push(
+                "session", up_payload, (self.room_id, self.user_id, down_payload)
+            )
+
+    def _start_report_timer(self) -> None:
+        # The first interval draw must happen in a +0.0 kernel event —
+        # exactly where the old generator's Process.start() placed it —
+        # so same-timestamp sampler draws from the shared per-user
+        # stream keep their position in the draw sequence.
+        self.sim._schedule_callback(0.0, self._register_report_timer)
+
+    def _register_report_timer(self) -> None:
+        if self.stage != "event":
+            return  # left the room before the deferred registration ran
+        spec = self.profile.control
+        first = spec.report_interval_s * self._rng.uniform(0.95, 1.05)
+        self._add_timer(spec.report_interval_s, self._report_tick, first_delay=first)
+
+    def _report_tick(self) -> float:
+        spec = self.profile.control
+        name = "clock-sync" if spec.clock_sync else "report"
+        self.control.request(
+            name,
+            spec.report_up_bytes,
+            spec.report_down_bytes,
+            on_response=self._on_report_response,
+        )
+        # Jittered cadence: the next delay is drawn per firing, exactly
+        # as the generator-based loop drew its next Timeout.
+        return spec.report_interval_s * self._rng.uniform(0.95, 1.05)
 
     def _on_report_response(self, name: str, size: int) -> None:
         if name == "clock-sync":
             self.last_clock_sync = self.sim.now
 
-    def _voice_loop(self):
+    def _start_voice_timer(self) -> None:
         spec = self.profile.data
         frame_interval = 0.02  # 50 packets/s Opus
         # voice_kbps is the on-the-wire budget; shave per-packet headers
         # (RTP rides 12 B inside UDP/IP's 28 B).
         wire_per_frame = spec.voice_kbps * 1000.0 / 8.0 * frame_interval
-        udp_payload = max(16, int(wire_per_frame) - UDP_IP_HEADERS)
-        rtp_payload = max(16, int(wire_per_frame) - UDP_IP_HEADERS - 12)
-        while True:
-            yield Timeout(frame_interval)
-            if self.frozen:
-                continue
-            if self.voice is not None:
-                self._count_tx("voice", rtp_payload)
-                self.voice.send_media(rtp_payload, (self.room_id, self.user_id))
-            elif self.profile.data.transport == UDP_TRANSPORT:
-                self._count_tx("voice", udp_payload)
-                self.data_socket.send_to(
-                    self.data_endpoint,
-                    udp_payload,
-                    ("voice", self.room_id, self.user_id),
-                )
+        self._voice_payloads = (
+            max(16, int(wire_per_frame) - UDP_IP_HEADERS),  # raw UDP
+            max(16, int(wire_per_frame) - UDP_IP_HEADERS - 12),  # RTP
+        )
+        self._add_timer(frame_interval, self._voice_tick)
+
+    def _voice_tick(self) -> None:
+        if self.frozen:
+            return
+        udp_payload, rtp_payload = self._voice_payloads
+        if self.voice is not None:
+            self._count_tx("voice", rtp_payload)
+            self.voice.send_media(rtp_payload, (self.room_id, self.user_id))
+        elif self.profile.data.transport == UDP_TRANSPORT:
+            self._count_tx("voice", udp_payload)
+            self.data_socket.send_to(
+                self.data_endpoint,
+                udp_payload,
+                ("voice", self.room_id, self.user_id),
+            )
 
     # ------------------------------------------------------------------
     # Worlds' TCP-over-UDP priority (Sec. 8.1)
@@ -778,45 +815,42 @@ class PlatformClient:
             )
         if self.stage != "event":
             raise RuntimeError("join an event before sharing a screen")
-        if self._screen_share_process is not None:
+        if self._screen_share_timer is not None:
             return
         self.screen_share_kbps = bitrate_kbps
-        self._screen_share_process = self.sim.spawn(
-            self._screen_share_loop(), name=f"{self.user_id}-screenshare"
+        self._screen_share_timer = self.sim.ticks.call_every(
+            0.1, self._screen_share_tick  # 10 video frames/s
         )
-        self._processes.append(self._screen_share_process)
+        self._timers.append(self._screen_share_timer)
 
     def stop_screen_share(self) -> None:
-        if self._screen_share_process is not None:
-            if self._screen_share_process.alive:
-                self._screen_share_process.kill()
-            self._screen_share_process = None
+        if self._screen_share_timer is not None:
+            self._screen_share_timer.cancel()
+            self._screen_share_timer = None
         self.screen_share_kbps = 0.0
 
-    def _screen_share_loop(self):
-        frame_interval = 0.1  # 10 video frames/s
-        while True:
-            yield Timeout(frame_interval)
-            if self.frozen or self.screen_share_kbps <= 0:
-                continue
-            frame_bytes = max(
-                256,
-                int(self.screen_share_kbps * 1000.0 / 8.0 * frame_interval)
-                - UDP_IP_HEADERS,
+    def _screen_share_tick(self) -> None:
+        frame_interval = 0.1
+        if self.frozen or self.screen_share_kbps <= 0:
+            return
+        frame_bytes = max(
+            256,
+            int(self.screen_share_kbps * 1000.0 / 8.0 * frame_interval)
+            - UDP_IP_HEADERS,
+        )
+        # Screen frames are room content and forwarded like avatar
+        # data — one more linearly-scaling stream per viewer.
+        self._count_tx("screen", frame_bytes)
+        if self.profile.data.transport == UDP_TRANSPORT:
+            self.data_socket.send_to(
+                self.data_endpoint,
+                frame_bytes,
+                ("avatar", self.room_id, self.user_id, None),
             )
-            # Screen frames are room content and forwarded like avatar
-            # data — one more linearly-scaling stream per viewer.
-            self._count_tx("screen", frame_bytes)
-            if self.profile.data.transport == UDP_TRANSPORT:
-                self.data_socket.send_to(
-                    self.data_endpoint,
-                    frame_bytes,
-                    ("avatar", self.room_id, self.user_id, None),
-                )
-            else:
-                self.data_https.channel.push(
-                    "avatar", frame_bytes, (self.room_id, self.user_id, None)
-                )
+        else:
+            self.data_https.channel.push(
+                "avatar", frame_bytes, (self.room_id, self.user_id, None)
+            )
 
     # ------------------------------------------------------------------
     # Device state
@@ -897,7 +931,7 @@ class LightweightPeer:
         self.motion = motion or Wander(room_radius=1.0, speed=0.5)
         self.codec = AvatarCodec(self.profile.embodiment)
         self._rng = sim.rng(f"peer:{self.profile.name}:{user_id}")
-        self._process = None
+        self._timer = None
         self.server = None
 
     def start(self, join_at: float) -> None:
@@ -918,30 +952,26 @@ class LightweightPeer:
             observed=False,
             pose=self.pose.copy(),
         )
-        self._process = self.sim.spawn(self._update_loop(), name=f"{self.user_id}-peer")
+        self._interval = 1.0 / self.profile.data.update_rate_hz
+        self._timer = self.sim.ticks.call_every(self._interval, self._update_tick)
 
     def stop(self) -> None:
-        if self._process is not None and self._process.alive:
-            self._process.kill()
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
         self.deployment.leave_room(self.room_id, self.user_id)
 
-    def _update_loop(self):
-        interval = 1.0 / self.profile.data.update_rate_hz
-        while True:
-            yield Timeout(interval)
-            self.motion.step(self.pose, interval, self.sim.now, self._rng)
-            payload_bytes, update = self.codec.encode(
-                self.user_id, self.pose, self.sim.now
+    def _update_tick(self) -> None:
+        now = self.sim.now
+        self.motion.step(self.pose, self._interval, now, self._rng)
+        payload_bytes, update = self.codec.encode(self.user_id, self.pose, now)
+        if self.profile.data.transport == UDP_TRANSPORT:
+            self.server.ingest_update(self.room_id, self.user_id, payload_bytes, update)
+        else:
+            # Hubs relay path: size as the TLS-framed wire message.
+            self.server.relay_update(
+                self.room_id,
+                self.user_id,
+                payload_bytes + TLS_FRAMING_BYTES,
+                update,
             )
-            if self.profile.data.transport == UDP_TRANSPORT:
-                self.server.ingest_update(
-                    self.room_id, self.user_id, payload_bytes, update
-                )
-            else:
-                # Hubs relay path: size as the TLS-framed wire message.
-                self.server.relay_update(
-                    self.room_id,
-                    self.user_id,
-                    payload_bytes + TLS_FRAMING_BYTES,
-                    update,
-                )

@@ -105,17 +105,20 @@ class ControlService:
 
             sender.pose = _pose_from_update(update)
             sender.pose_updated_at = self.sim.now
+        room_size = len(room)
+        bindings = self.bindings
+        schedule = self.sim._schedule_callback
         for member in room.others(user_id):
             member.forwarded_bytes += size
             if not member.observed:
                 self.unobserved_relayed_bytes += size
                 continue
-            target = self.bindings.get(member.user_id)
+            target = bindings.get(member.user_id)
             if target is None or not target.ready:
                 continue
             self.relayed_updates += 1
-            delay = self._avatar_processing(len(room))
-            self.sim.schedule(delay, target.push, "avatar-fwd", size, update)
+            delay = self._avatar_processing(room_size)
+            schedule(delay, target.push, ("avatar-fwd", size, update))
 
     def close(self) -> None:
         self.https.close()

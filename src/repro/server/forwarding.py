@@ -128,6 +128,14 @@ class AvatarDataServer:
         fanout = 0
         if observing:
             self._rx_counter.inc()
+        # Fan-out is the hottest loop on the server: hoist the invariants
+        # and schedule handle-less (forwards are never cancelled).  The
+        # per-recipient processing_delay call stays inside the loop — it
+        # draws from the server's RNG stream once per recipient, and that
+        # draw order is part of the reproducible trace.
+        room_size = len(room)
+        processing_delay = self.processing_delay
+        schedule = self.sim._schedule_callback
         for member in room.others(user_id):
             if not self.should_forward(room, sender, member, update):
                 member.suppressed_bytes += forwarded_bytes
@@ -143,15 +151,13 @@ class AvatarDataServer:
                 # Lightweight peers: account the bytes, skip the packets.
                 self.unobserved_forwarded_bytes += forwarded_bytes
                 continue
-            delay = self.processing_delay(len(room))
+            delay = processing_delay(room_size)
             if member.server is not self:
                 delay += INTER_INSTANCE_DELAY_S
-            self.sim.schedule(
+            schedule(
                 delay,
                 member.server._send_forward,
-                member,
-                forwarded_bytes,
-                update,
+                (member, forwarded_bytes, update),
             )
         if observing:
             self._fanout_hist.observe(fanout)
@@ -194,16 +200,16 @@ class AvatarDataServer:
 
     def _forward_voice(self, room_id: str, user_id: str, payload_bytes: int) -> None:
         room = self.rooms.room(room_id)
+        room_size = len(room)
+        schedule = self.sim._schedule_callback
         for member in room.others(user_id):
             if not member.observed:
                 continue
-            delay = self.processing_delay(len(room))
-            self.sim.schedule(
+            delay = self.processing_delay(room_size)
+            schedule(
                 delay,
                 member.server.socket.send_to,
-                member.endpoint,
-                payload_bytes,
-                ("voice-fwd", user_id),
+                (member.endpoint, payload_bytes, ("voice-fwd", user_id)),
             )
 
 

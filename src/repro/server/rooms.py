@@ -39,6 +39,10 @@ class Room:
         self.room_id = room_id
         self.capacity = capacity
         self.members: dict[str, MemberBinding] = {}
+        #: user_id -> everyone else, rebuilt only after a join/leave.
+        #: ``others()`` runs once per ingested update (N times per second
+        #: per user), membership changes a handful of times per run.
+        self._others_cache: dict[str, typing.List[MemberBinding]] = {}
 
     def join(self, binding: MemberBinding) -> MemberBinding:
         if self.capacity is not None and len(self.members) >= self.capacity:
@@ -48,13 +52,20 @@ class Room:
         if binding.user_id in self.members:
             raise ValueError(f"{binding.user_id!r} already in room {self.room_id!r}")
         self.members[binding.user_id] = binding
+        self._others_cache.clear()
         return binding
 
     def leave(self, user_id: str) -> None:
-        self.members.pop(user_id, None)
+        if self.members.pop(user_id, None) is not None:
+            self._others_cache.clear()
 
     def others(self, user_id: str) -> typing.List[MemberBinding]:
-        return [m for uid, m in self.members.items() if uid != user_id]
+        cached = self._others_cache.get(user_id)
+        if cached is None:
+            cached = self._others_cache[user_id] = [
+                m for uid, m in self.members.items() if uid != user_id
+            ]
+        return cached
 
     def member(self, user_id: str) -> MemberBinding:
         return self.members[user_id]

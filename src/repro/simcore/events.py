@@ -1,34 +1,65 @@
 """Event primitives for the discrete-event simulation kernel.
 
-The kernel keeps a binary heap of :class:`ScheduledEvent` records. Events
-compare by ``(time, priority, sequence)`` so that simultaneous events fire
-in a deterministic order (FIFO among equal priorities).
+The kernel keeps a binary heap of plain tuples
+``(time, priority, sequence, callback, args, handle)`` so heap sifting
+compares in C — the sequence is unique, so comparison never reaches the
+callback.  :class:`ScheduledEvent` is the cancellable *handle* riding in
+the tuple's last slot; hot internal paths that never cancel push
+``None`` there and skip the allocation entirely.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import typing
 
 
-@dataclasses.dataclass(order=True)
 class ScheduledEvent:
-    """A callback scheduled at an absolute simulation time."""
+    """Handle to a callback scheduled at an absolute simulation time."""
 
-    time: float
-    priority: int
-    sequence: int
-    callback: typing.Callable[..., None] = dataclasses.field(compare=False)
-    args: tuple = dataclasses.field(compare=False, default=())
-    cancelled: bool = dataclasses.field(compare=False, default=False)
+    __slots__ = ("time", "priority", "sequence", "callback", "args", "cancelled", "_sim")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: typing.Callable[..., None],
+        args: tuple = (),
+        cancelled: bool = False,
+        sim=None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+        self._sim = sim
+
+    def _sort_key(self):
+        return (self.time, self.priority, self.sequence)
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return self._sort_key() < other._sort_key()
+
+    def __le__(self, other: "ScheduledEvent") -> bool:
+        return self._sort_key() <= other._sort_key()
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self._sim
+            if sim is not None:
+                sim._note_cancelled()
 
     @property
     def active(self) -> bool:
         return not self.cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "active"
+        return f"ScheduledEvent(t={self.time:.6f}, seq={self.sequence}, {state})"
 
 
 class Signal:

@@ -5,6 +5,16 @@ streams. All substrates (network stack, devices, platform clients) hang
 off one ``Simulator`` instance, so a whole testbed is reproducible from a
 single seed.
 
+The event heap holds plain tuples ``(time, priority, sequence, callback,
+args, handle)`` so ``heapq`` sifting compares floats/ints in C; the
+sequence is unique, so a comparison never reaches the callback.  Public
+``schedule``/``schedule_at`` return a cancellable
+:class:`~repro.simcore.events.ScheduledEvent` handle; internal hot paths
+(:meth:`_schedule_callback` / :meth:`_schedule_callback_at`) skip the
+handle allocation because they never cancel.  Cancelled entries are
+skipped lazily at pop time and the heap is compacted in place when they
+dominate it.
+
 Observability hangs off the kernel too: ``sim.obs`` is either an enabled
 :class:`~repro.obs.Observability` (its registry and tracer are what every
 instrumented layer writes into) or the shared no-op ``NULL_OBS``.  The
@@ -24,6 +34,10 @@ from ..obs.context import observability_for_new_simulator
 from .events import ScheduledEvent, Signal
 from .process import Process
 from .rng import RandomStreams
+
+#: Compact the heap once this many cancelled entries linger *and* they
+#: make up at least half of it (amortised O(1) per cancellation).
+_COMPACT_MIN_CANCELLED = 64
 
 
 class SimulationError(RuntimeError):
@@ -47,8 +61,10 @@ class Simulator:
 
     def __init__(self, seed: int = 0, obs=None) -> None:
         self._now = 0.0
-        self._heap: list[ScheduledEvent] = []
+        self._heap: list[tuple] = []
         self._sequence = 0
+        self._cancelled_in_heap = 0
+        self._ticks = None
         self.streams = RandomStreams(seed)
         self.processes: list[Process] = []
         self.event_count = 0
@@ -75,6 +91,15 @@ class Simulator:
         """Return the named deterministic random stream."""
         return self.streams.stream(name)
 
+    @property
+    def ticks(self):
+        """The shared coarse tick scheduler (created on first use)."""
+        if self._ticks is None:
+            from .ticks import TickScheduler
+
+            self._ticks = TickScheduler(self)
+        return self._ticks
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -86,11 +111,11 @@ class Simulator:
         priority: int = 0,
     ) -> ScheduledEvent:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
-        if not math.isfinite(delay):
+        if not (delay >= 0.0 and math.isfinite(delay)):
             # A NaN delay would silently corrupt heapq ordering (every
             # comparison is False), so reject it loudly.
-            raise SimulationError(f"delay must be finite, got {delay}")
-        if delay < 0:
+            if not math.isfinite(delay):
+                raise SimulationError(f"delay must be finite, got {delay}")
             raise SimulationError(f"cannot schedule {delay}s in the past")
         return self.schedule_at(self._now + delay, callback, *args, priority=priority)
 
@@ -109,9 +134,23 @@ class Simulator:
                 f"cannot schedule at {time} before current time {self._now}"
             )
         self._sequence += 1
-        event = ScheduledEvent(time, priority, self._sequence, callback, args)
-        heapq.heappush(self._heap, event)
+        event = ScheduledEvent(time, priority, self._sequence, callback, args, sim=self)
+        heapq.heappush(
+            self._heap, (time, priority, self._sequence, callback, args, event)
+        )
         return event
+
+    def _schedule_callback(self, delay: float, callback, args: tuple = ()) -> None:
+        """Hot-path scheduling: no handle, no cancellation, trusted delay."""
+        self._sequence += 1
+        heapq.heappush(
+            self._heap, (self._now + delay, 0, self._sequence, callback, args, None)
+        )
+
+    def _schedule_callback_at(self, time: float, callback, args: tuple = ()) -> None:
+        """Hot-path absolute-time scheduling (see :meth:`_schedule_callback`)."""
+        self._sequence += 1
+        heapq.heappush(self._heap, (time, 0, self._sequence, callback, args, None))
 
     def spawn(self, generator: typing.Generator, name: str = "") -> Process:
         """Start a generator as a simulation process."""
@@ -124,33 +163,62 @@ class Simulator:
         return Signal(name)
 
     # ------------------------------------------------------------------
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """A live handle was cancelled; compact the heap if they dominate."""
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap >= _COMPACT_MIN_CANCELLED
+            and self._cancelled_in_heap * 2 >= len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (in place: the heap list
+        identity is load-bearing for the run loop and obs gauges)."""
+        self._heap[:] = [
+            entry
+            for entry in self._heap
+            if entry[5] is None or not entry[5].cancelled
+        ]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Run the next scheduled event; return False when none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                if self._obs_enabled:
-                    self._cancelled_counter.inc()
-                continue
-            self._now = event.time
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            handle = entry[5]
+            if handle is not None:
+                if handle.cancelled:
+                    self._cancelled_in_heap -= 1
+                    if self._obs_enabled:
+                        self._cancelled_counter.inc()
+                    continue
+                # Fired: a later cancel() must not count against the heap.
+                handle._sim = None
+            self._now = entry[0]
             self.event_count += 1
             if self._obs_enabled:
-                self._dispatch_observed(event)
+                self._dispatch_observed(entry)
             else:
-                event.callback(*event.args)
+                entry[3](*entry[4])
             return True
         return False
 
-    def _dispatch_observed(self, event: ScheduledEvent) -> None:
+    def _dispatch_observed(self, entry: tuple) -> None:
         """Dispatch one event under the tracer and wall-time profile."""
-        callback = event.callback
+        callback = entry[3]
         label = getattr(callback, "__qualname__", None) or repr(callback)
         self._events_counter.inc()
         with self.obs.tracer.span("kernel.dispatch", callback=label):
             started = _time.perf_counter()
-            callback(*event.args)
+            callback(*entry[4])
         self._registry.histogram("sim.callback_wall_s", callback=label).observe(
             _time.perf_counter() - started
         )
@@ -162,26 +230,65 @@ class Simulator:
         is given the clock is advanced to exactly ``until`` even if the
         last event fired earlier, matching wall-clock experiment windows.
         """
+        heap = self._heap
+        heappop = heapq.heappop
+        observed = self._obs_enabled
+        if observed:
+            return self._run_observed(until)
         if until is None:
-            while self.step():
-                pass
+            events = 0
+            while heap:
+                entry = heappop(heap)
+                handle = entry[5]
+                if handle is not None:
+                    if handle.cancelled:
+                        self._cancelled_in_heap -= 1
+                        continue
+                    handle._sim = None
+                self._now = entry[0]
+                events += 1
+                entry[3](*entry[4])
+            self.event_count += events
             return self._now
-        while self._heap:
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
-                if self._obs_enabled:
-                    self._cancelled_counter.inc()
-                continue
-            if head.time > until:
+        events = 0
+        while heap:
+            entry = heap[0]
+            if entry[0] > until:
                 break
-            self.step()
+            heappop(heap)
+            handle = entry[5]
+            if handle is not None:
+                if handle.cancelled:
+                    self._cancelled_in_heap -= 1
+                    continue
+                handle._sim = None
+            self._now = entry[0]
+            events += 1
+            entry[3](*entry[4])
+        self.event_count += events
         self._now = max(self._now, until)
+        return self._now
+
+    def _run_observed(self, until: typing.Optional[float]) -> float:
+        """The instrumented twin of :meth:`run` (span + histogram per event)."""
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if until is not None and head[0] > until:
+                break
+            if not self.step():
+                break
+        if until is not None:
+            self._now = max(self._now, until)
         return self._now
 
     def pending_events(self) -> int:
         """Number of scheduled (non-cancelled) events still in the heap."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        return sum(
+            1
+            for entry in self._heap
+            if entry[5] is None or not entry[5].cancelled
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self._now:.6f}, pending={len(self._heap)})"

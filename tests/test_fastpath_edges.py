@@ -1,0 +1,254 @@
+"""Edge cases of the dataplane fastpath: lazy heap compaction, same-time
+scheduling, TTL drop accounting, tick-scheduler determinism, and lazy
+link-jitter streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.address import Endpoint
+from repro.net.geo import EAST_US, WEST_US
+from repro.net.packet import Packet, Protocol
+from repro.net.topology import Network
+from repro.simcore import Simulator
+from repro.simcore.kernel import _COMPACT_MIN_CANCELLED
+
+
+# ----------------------------------------------------------------------
+# Lazy heap compaction
+# ----------------------------------------------------------------------
+def test_cancelled_events_are_compacted_out_of_the_heap(sim):
+    fired = []
+    handles = [
+        sim.schedule(10.0 + i, fired.append, i) for i in range(4 * _COMPACT_MIN_CANCELLED)
+    ]
+    sim.schedule(1.0, fired.append, "keeper")
+    # Cancel everything: compaction triggers whenever >= 64 cancelled
+    # entries make up at least half the heap, so the heap must shrink
+    # from 4*64+1 entries to at most one compaction threshold's worth.
+    for handle in handles:
+        handle.cancel()
+    assert len(sim._heap) <= _COMPACT_MIN_CANCELLED
+    assert sim.pending_events() == 1
+    sim.run()
+    assert fired == ["keeper"]
+
+
+def test_few_cancellations_are_skipped_lazily(sim):
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "cancelled")
+    sim.schedule(2.0, fired.append, "kept")
+    handle.cancel()
+    # Below the compaction threshold the entry stays in the heap ...
+    assert len(sim._heap) == 2
+    assert sim.pending_events() == 1
+    sim.run()
+    # ... but never fires, and the dispatch count excludes it.
+    assert fired == ["kept"]
+    assert sim.event_count == 1
+
+
+def test_cancel_after_fire_does_not_skew_the_counter(sim):
+    handle = sim.schedule(1.0, lambda: None)
+    sim.run()
+    handle.cancel()  # late cancel of an already-fired event
+    handle.cancel()  # and double-cancel
+    assert sim._cancelled_in_heap == 0
+
+
+# ----------------------------------------------------------------------
+# Scheduling at exactly sim.now
+# ----------------------------------------------------------------------
+def test_schedule_at_exactly_now_runs_after_current_event(sim):
+    order = []
+
+    def first() -> None:
+        order.append("first")
+        sim.schedule_at(sim.now, lambda: order.append("same-time"))
+        sim.schedule(0.0, lambda: order.append("zero-delay"))
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, order.append, "sibling")
+    sim.run()
+    # Same-timestamp events run in scheduling order: the pre-existing
+    # sibling first, then the two scheduled from inside the handler.
+    assert order == ["first", "sibling", "same-time", "zero-delay"]
+    assert sim.now == 1.0
+
+
+# ----------------------------------------------------------------------
+# TTL expiry accounting
+# ----------------------------------------------------------------------
+def test_router_accounts_ttl_expiry_drops(world):
+    sim = world.sim
+    packet = Packet(
+        src=Endpoint(world.client.ip, 1234),
+        dst=Endpoint(world.server.ip, 80),
+        protocol=Protocol.UDP,
+        size=200,
+        ttl=1,  # expires at the first router
+    )
+    world.client.send(packet)
+    sim.run()
+    assert world.r_east.ttl_dropped_packets == 1
+    assert world.r_west.ttl_dropped_packets == 0
+    # The expired packet never reached the destination.
+    assert world.server.received_packets == 0
+
+
+def test_ttl_expiry_still_sends_time_exceeded(world):
+    sim = world.sim
+    replies = []
+    world.client.probe_waiters["tok"] = replies.append
+    packet = Packet(
+        src=Endpoint(world.client.ip, 1234),
+        dst=Endpoint(world.server.ip, 80),
+        protocol=Protocol.ICMP,
+        size=84,
+        payload=("echo-request", "tok"),
+        ttl=1,
+    )
+    world.client.send(packet)
+    sim.run()
+    assert world.r_east.ttl_dropped_packets == 1
+    assert len(replies) == 1
+    assert replies[0].payload[0] == "time-exceeded"
+
+
+# ----------------------------------------------------------------------
+# Tick-scheduler determinism
+# ----------------------------------------------------------------------
+def test_tick_timers_preserve_registration_order_at_shared_times():
+    """Timers firing at the same instant run in registration order, even
+    when registrations interleave with firings."""
+    sim = Simulator(seed=0)
+    order = []
+    sim.ticks.call_every(1.0, lambda: order.append("a"))
+    sim.ticks.call_every(1.0, lambda: order.append("b"))
+
+    def register_c() -> None:
+        sim.ticks.call_every(1.0, lambda: order.append("c"))
+
+    # c registers at t=0.5: its ticks (1.5, 2.5) interleave with a/b's
+    # (1.0, 2.0, 3.0); within each shared instant the relative order
+    # stays registration order (a before b).
+    sim.schedule(0.5, register_c)
+    sim.run(until=3.0)
+    assert order == ["a", "b", "c", "a", "b", "c", "a", "b"]
+
+
+def test_tick_timer_interleaved_registration_is_deterministic():
+    """Two simulations with identical interleaved registrations produce
+    identical firing sequences."""
+
+    def run_once() -> list:
+        sim = Simulator(seed=7)
+        order = []
+        sim.ticks.call_every(0.3, lambda: order.append(("x", round(sim.now, 6))))
+        sim.schedule(
+            0.45, lambda: sim.ticks.call_every(0.3, lambda: order.append(("y", round(sim.now, 6))))
+        )
+        sim.ticks.call_every(0.15, lambda: order.append(("z", round(sim.now, 6))))
+        sim.run(until=3.0)
+        return order
+
+    first, second = run_once(), run_once()
+    assert first == second
+    assert len(first) > 20
+
+
+def test_tick_timer_variable_return_reschedules():
+    sim = Simulator(seed=0)
+    times = []
+
+    def tick():
+        times.append(sim.now)
+        return 2.0 if len(times) == 1 else None  # stretch one interval
+
+    sim.ticks.call_every(1.0, tick)
+    sim.run(until=6.0)
+    assert times == [1.0, 3.0, 4.0, 5.0, 6.0]
+
+
+def test_tick_timer_cancel_stops_firing():
+    sim = Simulator(seed=0)
+    count = []
+    timer = sim.ticks.call_every(1.0, lambda: count.append(1))
+    sim.schedule(2.5, timer.cancel)
+    sim.run(until=10.0)
+    assert len(count) == 2
+    assert len(sim.ticks) == 0
+
+
+# ----------------------------------------------------------------------
+# Lazy link-jitter streams (the post-hoc mutation bug)
+# ----------------------------------------------------------------------
+def _send_burst(sim, network, src, dst, count: int = 20) -> None:
+    for index in range(count):
+        sim.schedule_at(
+            0.01 * (index + 1),
+            src.send,
+            Packet(
+                src=Endpoint(src.ip, 5000),
+                dst=Endpoint(dst.ip, 80),
+                protocol=Protocol.UDP,
+                size=200,
+            ),
+        )
+
+
+def test_jitter_set_after_construction_takes_effect():
+    """jitter_s=0 at construction must not freeze the link jitterless:
+    the RNG stream is created lazily on first jittered send."""
+    sim = Simulator(seed=3)
+    network = Network(sim)
+    a = network.add_host("a", EAST_US)
+    b = network.add_host("b", WEST_US, provider="cloud")
+    forward, _ = network.connect(a, b, delay_s=0.005)  # jitter_s defaults to 0
+    network.build_routes()
+
+    arrivals = []
+    b.bind(Protocol.UDP, 80, lambda packet: arrivals.append(sim.now))
+
+    forward.jitter_s = 0.002  # post-hoc mutation, as tests and tools do
+    _send_burst(sim, network, a, b)
+    sim.run()
+    assert len(arrivals) == 20
+    base_gaps = {round(arrivals[i + 1] - arrivals[i], 9) for i in range(19)}
+    # With jitter active the inter-arrival gaps must actually vary.
+    assert len(base_gaps) > 1
+
+
+def test_post_hoc_jitter_matches_constructed_jitter():
+    """A link mutated to jitter_s=j draws the same stream as one built
+    with jitter_s=j (stream seeds derive from the link name alone)."""
+
+    def arrivals(post_hoc: bool) -> list:
+        sim = Simulator(seed=11)
+        network = Network(sim)
+        a = network.add_host("a", EAST_US)
+        b = network.add_host("b", WEST_US, provider="cloud")
+        jitter = 0.0 if post_hoc else 0.003
+        forward, _ = network.connect(a, b, delay_s=0.005, jitter_s=jitter)
+        network.build_routes()
+        if post_hoc:
+            forward.jitter_s = 0.003
+        out = []
+        b.bind(Protocol.UDP, 80, lambda packet: out.append(sim.now))
+        _send_burst(sim, network, a, b)
+        sim.run()
+        return out
+
+    assert arrivals(post_hoc=True) == arrivals(post_hoc=False)
+
+
+def test_zero_jitter_never_creates_rng_stream():
+    sim = Simulator(seed=5)
+    network = Network(sim)
+    a = network.add_host("a", EAST_US)
+    b = network.add_host("b", WEST_US, provider="cloud")
+    forward, _ = network.connect(a, b, delay_s=0.005)
+    network.build_routes()
+    _send_burst(sim, network, a, b)
+    sim.run()
+    assert forward._rng is None
