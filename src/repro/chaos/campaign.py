@@ -1,0 +1,153 @@
+"""Chaos campaign driver: fault x intensity x platform matrices.
+
+One campaign cell (:func:`run_chaos_cell`) builds a fresh two-user
+testbed, arms one scenario at one intensity, runs to the end of the
+observation window, and returns the :class:`ChaosVerdict`.  The cell is
+a plain module-level function, registered as the ``chaos`` experiment,
+so the whole matrix flows through :mod:`repro.runner`: cached,
+crash-isolated, retried, and parallelized exactly like every other
+campaign — and byte-identical verdicts regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..measure.session import Testbed, download_drain_s
+from ..platforms.profiles import PLATFORM_NAMES
+from ..runner import CampaignPlan, run_campaign
+from .inject import FaultInjector
+from .scenarios import SCENARIOS, get_scenario, list_scenarios
+from .verdict import ChaosVerdict, compute_verdict
+
+JOIN_AT_S = 2.0
+#: Settling time after the per-join download drains, before the fault.
+SETTLE_S = 8.0
+
+
+def run_chaos_cell(
+    scenario: str,
+    platform: str,
+    intensity: str = "mild",
+    seed: int = 0,
+) -> ChaosVerdict:
+    """Run one (scenario, platform, intensity, seed) campaign cell."""
+    spec = get_scenario(scenario)
+    spec.params(intensity)  # fail fast on unknown intensity
+    testbed = Testbed(platform, n_users=2, seed=seed)
+    testbed.start_all(join_at=JOIN_AT_S)
+    injector = FaultInjector(testbed, spec, intensity)
+    fault_at = (
+        JOIN_AT_S
+        + SETTLE_S
+        + download_drain_s(testbed.profile)
+        + spec.fault_offset_s
+    )
+    heal_at = injector.arm(fault_at)
+    end = heal_at + spec.observe_s
+    testbed.run(until=end)
+    return compute_verdict(testbed, injector, spec, intensity, seed, end)
+
+
+def intensity_names() -> typing.List[str]:
+    """Every intensity name appearing anywhere in the catalog."""
+    names: typing.List[str] = []
+    for scenario in list_scenarios():
+        for name in scenario.intensity_names:
+            if name not in names:
+                names.append(name)
+    return names
+
+
+def build_chaos_plan(
+    scenarios: typing.Optional[typing.Sequence[str]] = None,
+    platforms: typing.Optional[typing.Sequence[str]] = None,
+    intensities: typing.Optional[typing.Sequence[str]] = None,
+    seeds: typing.Iterable[int] = (0,),
+) -> CampaignPlan:
+    """Expand the chaos matrix into runner tasks.
+
+    Defaults run the full catalog over every platform at every
+    intensity.  The ``keep`` filter prunes (scenario, intensity) pairs
+    the catalog does not define, so sparse matrices stay valid.
+    """
+    scenario_names = list(scenarios) if scenarios else sorted(SCENARIOS)
+    for name in scenario_names:
+        get_scenario(name)  # fail fast on unknown scenarios
+    grid = {
+        "scenario": scenario_names,
+        "platform": list(platforms) if platforms else list(PLATFORM_NAMES),
+        "intensity": list(intensities) if intensities else intensity_names(),
+    }
+
+    def keep(_experiment: str, kwargs: typing.Mapping) -> bool:
+        return kwargs["intensity"] in get_scenario(kwargs["scenario"]).intensities
+
+    return CampaignPlan.from_matrix(
+        ["chaos"], grid=grid, seeds=seeds, keep=keep
+    )
+
+
+@dataclasses.dataclass
+class ChaosCampaignOutcome:
+    """Verdicts plus the raw runner result for one chaos campaign."""
+
+    campaign: typing.Any  # repro.runner.CampaignResult
+    verdicts: typing.List[ChaosVerdict]
+
+    @property
+    def findings(self):
+        """One Finding per completed cell, in verdict order."""
+        return [verdict.to_finding() for verdict in self.verdicts]
+
+    @property
+    def ok(self) -> bool:
+        return self.campaign.ok
+
+
+def run_chaos_campaign(
+    scenarios: typing.Optional[typing.Sequence[str]] = None,
+    platforms: typing.Optional[typing.Sequence[str]] = None,
+    intensities: typing.Optional[typing.Sequence[str]] = None,
+    seeds: typing.Iterable[int] = (0,),
+    *,
+    parallel: bool = True,
+    max_workers: typing.Optional[int] = None,
+    timeout_s: typing.Optional[float] = None,
+    max_retries: int = 2,
+    cache_dir: typing.Optional[str] = None,
+    use_cache: bool = True,
+    telemetry_path: typing.Optional[str] = None,
+    metrics_dir: typing.Optional[str] = None,
+    collect_obs: bool = False,
+) -> ChaosCampaignOutcome:
+    """Run a chaos matrix through the campaign runner."""
+    plan = build_chaos_plan(scenarios, platforms, intensities, seeds)
+    campaign = run_campaign(
+        plan,
+        parallel=parallel,
+        max_workers=max_workers,
+        timeout_s=timeout_s,
+        max_retries=max_retries,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        telemetry_path=telemetry_path,
+        metrics_dir=metrics_dir,
+        collect_obs=collect_obs,
+    )
+    verdicts = _ordered_verdicts(campaign)
+    return ChaosCampaignOutcome(campaign=campaign, verdicts=verdicts)
+
+
+def _ordered_verdicts(campaign) -> typing.List[ChaosVerdict]:
+    """Successful verdicts in a canonical, shard-independent order."""
+    verdicts = [
+        result.value
+        for result in campaign
+        if result.ok and isinstance(result.value, ChaosVerdict)
+    ]
+    verdicts.sort(
+        key=lambda v: (v.scenario, v.platform, v.intensity, v.seed)
+    )
+    return verdicts

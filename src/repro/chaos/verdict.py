@@ -1,0 +1,182 @@
+"""Chaos verdicts: did the platform recover, how fast, at what cost.
+
+A :class:`ChaosVerdict` is computed purely from simulation state (the
+AP capture, link/qdisc drop counters, client session flags, injector
+timeline) — never from wall-clock — so the same scenario spec and seed
+yields a byte-identical verdict object whether the cell ran serially,
+in a worker process, or was replayed from the runner cache.
+
+Recovery uses a two-sided band around the pre-fault baseline of U1's
+downlink: sustained bins inside ``[f * baseline, baseline / f]`` count
+as recovered, which covers both blackout faults (throughput collapses
+to zero) and flash crowds (throughput explodes past the baseline).
+Each verdict converts to a :class:`~repro.core.findings.Finding` so
+report cards pick chaos results up next to the paper's five findings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..capture.sniffer import DOWNLINK
+from ..capture.timeseries import throughput_series
+from ..core.findings import Finding, chaos_finding
+from ..obs.context import obs_of
+from .inject import FaultInjector, network_drop_total
+from .scenarios import ChaosScenario, scenario_index
+
+#: Throughput bin width for baseline/recovery detection.
+BIN_S = 1.0
+#: Consecutive in-band bins required to declare recovery.
+SUSTAIN_BINS = 3
+#: Baseline window length before the fault strikes.
+BASELINE_WINDOW_S = 8.0
+#: Recovery-time histogram buckets (seconds) — chaos recoveries run far
+#: past the 10 s ceiling of the default obs buckets.
+RECOVERY_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 80.0, 120.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosVerdict:
+    """The outcome of one chaos campaign cell."""
+
+    scenario: str
+    platform: str
+    intensity: str
+    seed: int
+    fault_at_s: float
+    heal_at_s: float
+    baseline_down_kbps: float
+    recovered: bool
+    #: Seconds from the heal point to the first sustained in-band
+    #: window; None when the session never recovered in the
+    #: observation window.
+    recovery_time_s: typing.Optional[float]
+    packets_lost: int
+    users_dropped: int
+    session_survival_rate: float
+    passed: bool
+    evidence: str
+
+    def to_finding(self) -> Finding:
+        """One report-card entry per campaign cell."""
+        return chaos_finding(
+            scenario_index(self.scenario),
+            f"chaos: {self.scenario} [{self.intensity}] on {self.platform}",
+            self.passed,
+            self.evidence,
+        )
+
+
+def compute_verdict(
+    testbed,
+    injector: FaultInjector,
+    scenario: ChaosScenario,
+    intensity: str,
+    seed: int,
+    end: float,
+) -> ChaosVerdict:
+    """Judge one finished chaos run (the sim must already be at ``end``)."""
+    fault_at, heal_at = injector.fault_at, injector.heal_at
+    if fault_at is None or heal_at is None:
+        raise RuntimeError("injector was never armed")
+    u1 = testbed.u1
+    down = throughput_series(
+        [r for r in u1.sniffer.records if r.direction == DOWNLINK],
+        0.0,
+        end,
+        BIN_S,
+    )
+    baseline = float(down.mean_kbps(fault_at - BASELINE_WINDOW_S, fault_at))
+    times = [float(t) for t in down.times_s]
+    kbps = [float(v) for v in down.kbps]
+    recovered, recovery_time = _scan_recovery(
+        times, kbps, heal_at, baseline, scenario.recover_fraction
+    )
+
+    drops_before = injector.drops_before_fault or 0
+    packets_lost = max(0, network_drop_total(testbed) - drops_before)
+
+    station_drops = sum(
+        1
+        for station in testbed.stations
+        if station.client.frozen or station.client.udp_dead
+    )
+    users_dropped = station_drops + injector.rejected_users
+    participants = len(testbed.stations) + injector.crowd_attempted
+    survival = (participants - users_dropped) / participants
+
+    passed = recovered and station_drops == 0
+    evidence = (
+        f"baseline {baseline:.1f} kbps; "
+        f"recovery {'%.1f s' % recovery_time if recovered else 'none'} "
+        f"after heal@{heal_at:.1f}s; "
+        f"{packets_lost} packets lost; "
+        f"{users_dropped}/{participants} users dropped "
+        f"(survival {survival:.3f}); "
+        f"timeline {[label for _, label in injector.events]}"
+    )
+    verdict = ChaosVerdict(
+        scenario=scenario.name,
+        platform=testbed.profile.name,
+        intensity=intensity,
+        seed=seed,
+        fault_at_s=round(fault_at, 6),
+        heal_at_s=round(heal_at, 6),
+        baseline_down_kbps=round(baseline, 6),
+        recovered=recovered,
+        recovery_time_s=round(recovery_time, 6) if recovered else None,
+        packets_lost=packets_lost,
+        users_dropped=users_dropped,
+        session_survival_rate=round(survival, 6),
+        passed=passed,
+        evidence=evidence,
+    )
+    _export_metrics(testbed, verdict)
+    return verdict
+
+
+def _scan_recovery(
+    times: typing.Sequence[float],
+    kbps: typing.Sequence[float],
+    heal_at: float,
+    baseline: float,
+    recover_fraction: float,
+) -> typing.Tuple[bool, float]:
+    """First sustained window inside the recovery band after ``heal_at``."""
+    if baseline <= 1e-9:
+        # Degenerate: no pre-fault traffic to recover to.
+        return True, 0.0
+    lo = recover_fraction * baseline
+    hi = baseline / recover_fraction
+    # The final bin may be partial (clipped at the run end): never let
+    # it decide a sustained window.
+    usable = len(kbps) - 1
+    for i in range(usable - SUSTAIN_BINS + 1):
+        if times[i] < heal_at:
+            continue
+        if all(lo <= kbps[j] <= hi for j in range(i, i + SUSTAIN_BINS)):
+            return True, max(0.0, times[i] - heal_at)
+    return False, 0.0
+
+
+def _export_metrics(testbed, verdict: ChaosVerdict) -> None:
+    """Recovery-time histograms + loss counters into the obs registry."""
+    obs = obs_of(testbed.sim)
+    if not obs.enabled:
+        return
+    labels = {"scenario": verdict.scenario, "platform": verdict.platform}
+    if verdict.recovered:
+        obs.registry.histogram(
+            "chaos.recovery_time_s", buckets=RECOVERY_BUCKETS, **labels
+        ).observe(verdict.recovery_time_s)
+    obs.registry.counter("chaos.packets_lost", **labels).inc(
+        verdict.packets_lost
+    )
+    obs.registry.counter("chaos.users_dropped", **labels).inc(
+        verdict.users_dropped
+    )
+    obs.registry.counter(
+        "chaos.cells_total", outcome="pass" if verdict.passed else "fail", **labels
+    ).inc()

@@ -10,6 +10,8 @@ Usage::
     python -m repro export-pcap --platform vrchat --output capture.pcap
     python -m repro campaign --experiments throughput forwarding \\
         --seeds 0:20 --workers 4 --telemetry campaign.jsonl
+    python -m repro chaos --scenarios link-flap server-crash \\
+        --platforms vrchat worlds --seeds 3
     python -m repro trace throughput --seed 3 --output trace.jsonl
     python -m repro table3 --metrics-out table3-metrics.json
 
@@ -229,6 +231,54 @@ def _build_parser() -> argparse.ArgumentParser:
         "--telemetry", default=None, metavar="PATH", help="append JSONL events here"
     )
     campaign.set_defaults(handler=_cmd_campaign, owns_metrics_out=True)
+
+    chaos = add_parser(
+        "chaos",
+        help="run fault-injection resiliency campaigns (docs/CHAOS.md)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=_chaos_catalog_text(),
+    )
+    chaos.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="scenario names from the catalog below (default: all)",
+    )
+    chaos.add_argument(
+        "--platforms",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="platforms to subject to each fault (default: all five)",
+    )
+    chaos.add_argument(
+        "--intensities",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="intensity levels; scenario/intensity pairs the catalog "
+        "does not define are skipped (default: every level)",
+    )
+    chaos.add_argument(
+        "--seeds",
+        default="1",
+        help="seed range: a count N (seeds 0..N-1) or an A:B half-open range",
+    )
+    chaos.add_argument("--workers", type=int, default=None)
+    chaos.add_argument(
+        "--serial", action="store_true", help="run in-process, in plan order"
+    )
+    chaos.add_argument("--timeout", type=float, default=None, metavar="SECONDS")
+    chaos.add_argument("--retries", type=int, default=2)
+    chaos.add_argument("--cache-dir", default=".repro-cache")
+    chaos.add_argument(
+        "--no-cache", action="store_true", help="always execute; never read or write the cache"
+    )
+    chaos.add_argument(
+        "--telemetry", default=None, metavar="PATH", help="append JSONL events here"
+    )
+    chaos.set_defaults(handler=_cmd_chaos, owns_metrics_out=True)
 
     trace = add_parser(
         "trace",
@@ -650,6 +700,91 @@ def _cmd_campaign(args) -> int:
     if args.metrics_out:
         print(f"[per-task metrics written to {args.metrics_out}/]")
     return 0 if campaign.ok else 1
+
+
+def _chaos_catalog_text() -> str:
+    """The scenario catalog, rendered straight from the registry."""
+    from .chaos.scenarios import list_scenarios
+
+    lines = ["fault scenarios (registry-driven; extend via repro.chaos):"]
+    for spec in list_scenarios():
+        intensities = "/".join(spec.intensity_names)
+        lines.append(f"  {spec.name:<17} [{intensities}]  {spec.summary}")
+    return "\n".join(lines)
+
+
+def _cmd_chaos(args) -> int:
+    from .chaos import run_chaos_campaign
+
+    print(_chaos_catalog_text())
+    print()
+    try:
+        outcome = run_chaos_campaign(
+            scenarios=args.scenarios,
+            platforms=args.platforms,
+            intensities=args.intensities,
+            seeds=_parse_seeds(args.seeds),
+            parallel=not args.serial,
+            max_workers=args.workers,
+            timeout_s=args.timeout,
+            max_retries=args.retries,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            use_cache=not args.no_cache,
+            telemetry_path=args.telemetry,
+            metrics_dir=args.metrics_out,
+            collect_obs=args.profile,
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    rows = []
+    for verdict in outcome.verdicts:
+        rows.append(
+            [
+                verdict.scenario,
+                verdict.platform,
+                verdict.intensity,
+                verdict.seed,
+                f"{verdict.baseline_down_kbps:.0f}",
+                (
+                    f"{verdict.recovery_time_s:.1f}"
+                    if verdict.recovered
+                    else "never"
+                ),
+                verdict.packets_lost,
+                verdict.users_dropped,
+                f"{verdict.session_survival_rate:.3f}",
+                "pass" if verdict.passed else "FAIL",
+            ]
+        )
+    print(
+        render_table(
+            [
+                "Scenario",
+                "Platform",
+                "Intensity",
+                "Seed",
+                "Base (Kbps)",
+                "Recovery (s)",
+                "Pkts lost",
+                "Dropped",
+                "Survival",
+                "Verdict",
+            ],
+            rows,
+        )
+    )
+    print()
+    passed = sum(1 for f in outcome.findings if f.passed)
+    print(f"findings: {passed}/{len(outcome.findings)} cells passed")
+    print(outcome.campaign.summary.render())
+    for failure in outcome.campaign.failures:
+        print(f"FAILED {failure.spec.task_id}: {failure.error}", file=sys.stderr)
+    if args.telemetry:
+        print(f"\n[telemetry appended to {args.telemetry}]")
+    if args.metrics_out:
+        print(f"[per-task metrics written to {args.metrics_out}/]")
+    return 0 if outcome.ok else 1
 
 
 def _cmd_trace(args) -> int:

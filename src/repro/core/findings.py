@@ -9,6 +9,7 @@ on these.
 from __future__ import annotations
 
 import dataclasses
+import math
 import typing
 
 from ..measure.stats import linearity_r2
@@ -24,11 +25,37 @@ class Finding:
     evidence: str
 
 
+#: Chaos resiliency verdicts are numbered from here, well above the
+#: paper's five findings, so report cards can mix both families without
+#: colliding.
+CHAOS_FINDING_BASE = 100
+
+
+def chaos_finding(index: int, title: str, passed: bool, evidence: str) -> Finding:
+    """Build the :class:`Finding` for one chaos campaign cell."""
+    if index < 0:
+        raise ValueError(f"chaos finding index must be >= 0, got {index}")
+    return Finding(CHAOS_FINDING_BASE + index, title, passed, evidence)
+
+
+def _bad_number(value) -> bool:
+    """True for None/NaN/inf — values no verdict may silently compare.
+
+    A NaN mean makes every ``>=`` threshold comparison False, which
+    would let a broken measurement *pass* checks phrased as "no value
+    exceeds X"; flag it explicitly instead.
+    """
+    return value is None or not math.isfinite(value)
+
+
 def check_finding_1_channels(infrastructure_reports: typing.Mapping) -> Finding:
     """Finding 1: distinct control/data channels; some servers >70 ms."""
     problems = []
     far_servers = []
     for name, report in infrastructure_reports.items():
+        if not report.data:
+            problems.append(f"{name} (no data-channel rows)")
+            continue
         control_ips = {report.control.east_ip}
         data_ips = {item.east_ip for item in report.data}
         owners_differ = report.control.owner != report.data[0].owner
@@ -65,15 +92,21 @@ def check_finding_2_throughput(
     """Finding 2: <100 Kbps except Worlds (~750/410); direct forwarding."""
     issues = []
     for name, row in table3.items():
+        up, down = row.up_kbps.mean, row.down_kbps.mean
+        if _bad_number(up) or _bad_number(down):
+            issues.append(f"{name}: non-finite throughput ({up}/{down})")
+            continue
         if name == "worlds":
-            if not (500 <= row.up_kbps.mean <= 1000 and 250 <= row.down_kbps.mean <= 600):
-                issues.append(f"worlds throughput off: {row.up_kbps.mean:.0f}/"
-                              f"{row.down_kbps.mean:.0f}")
+            if not (500 <= up <= 1000 and 250 <= down <= 600):
+                issues.append(f"worlds throughput off: {up:.0f}/{down:.0f}")
         else:
-            if row.up_kbps.mean >= 100 or row.down_kbps.mean >= 100:
+            if up >= 100 or down >= 100:
                 issues.append(f"{name} exceeds 100 Kbps")
-        if row.avatar_kbps is not None and row.avatar_kbps.mean < 0.4 * row.down_kbps.mean:
-            issues.append(f"{name}: avatar data is not the major portion")
+        if row.avatar_kbps is not None:
+            if _bad_number(row.avatar_kbps.mean):
+                issues.append(f"{name}: non-finite avatar throughput")
+            elif row.avatar_kbps.mean < 0.4 * down:
+                issues.append(f"{name}: avatar data is not the major portion")
     for name, evidence in forwarding.items():
         if evidence.corr < 0.5:
             issues.append(f"{name}: U1-up/U2-down correlation {evidence.corr:.2f}")

@@ -46,6 +46,7 @@ def _build_registry() -> typing.Dict[str, ExperimentSpec]:
         table4_latency,
         viewport_width_experiment,
     )
+    from ..chaos.campaign import run_chaos_cell
     from ..core.solutions import compare_solutions
     from ..scale.shard import metaverse_scale_experiment
     from .infrastructure import regional_study
@@ -170,6 +171,13 @@ def _build_registry() -> typing.Dict[str, ExperimentSpec]:
             "Sec. 7 (projection)",
             "fluid fan-out to thousands of rooms + capacity plan",
             metaverse_scale_experiment,
+        ),
+        ExperimentSpec(
+            "chaos",
+            "Sec. 8 (extension)",
+            "one chaos fault-injection cell (scenario x platform x intensity)",
+            run_chaos_cell,
+            {"scenario": "link-flap", "platform": "vrchat"},
         ),
     ]
     return {spec.name: spec for spec in specs}

@@ -58,6 +58,8 @@ class Link:
         "delivered_packets",
         "delivered_bytes",
         "dropped_packets",
+        "up",
+        "down_dropped_packets",
         "_obs",
         "_obs_enabled",
         "_dst_receive",
@@ -110,6 +112,12 @@ class Link:
         self.delivered_packets = 0
         self.delivered_bytes = 0
         self.dropped_packets = 0
+        #: Administrative state (chaos faults flip this): a down link
+        #: drops every offered packet at ingress.  Packets already
+        #: serialized onto the wire still deliver — taking a link down
+        #: cannot reach back into the propagation medium.
+        self.up = True
+        self.down_dropped_packets = 0
         self._obs = obs_of(sim)
         self._obs_enabled = self._obs.enabled
         self._dst_receive = dst.receive
@@ -147,8 +155,20 @@ class Link:
     # ------------------------------------------------------------------
     # Datapath
     # ------------------------------------------------------------------
+    def set_up(self, up: bool) -> None:
+        """Set the administrative state (``False`` drops all new traffic)."""
+        self.up = up
+
     def send(self, packet: Packet) -> None:
         """Enqueue ``packet`` for transmission toward ``dst``."""
+        if not self.up:
+            self.dropped_packets += 1
+            self.down_dropped_packets += 1
+            if self._obs_enabled:
+                self._obs.tracer.packet_hop(
+                    "drop", packet, self.name, reason="link-down"
+                )
+            return
         if self.qdisc is not None and self.qdisc.active:
             self.qdisc.process(packet, self._enqueue)
         else:

@@ -48,14 +48,25 @@ class NetemQdisc:
         delay_s: float = 0.0,
         loss_rate: float = 0.0,
         protocol_filter: typing.Optional[Protocol] = None,
+        queue_limit_bytes: typing.Optional[int] = None,
     ) -> None:
-        """Set all shaping knobs at once (like re-issuing ``tc qdisc``)."""
+        """Set all shaping knobs at once (like re-issuing ``tc qdisc``).
+
+        ``queue_limit_bytes=None`` keeps the current buffer depth, so
+        existing two-knob call sites are unaffected.
+        """
         if rate_bps is not None and rate_bps <= 0:
             raise ValueError(f"rate must be positive, got {rate_bps}")
         if not 0.0 <= loss_rate <= 1.0:
             raise ValueError(f"loss rate must be in [0, 1], got {loss_rate}")
         if delay_s < 0:
             raise ValueError(f"delay must be >= 0, got {delay_s}")
+        if queue_limit_bytes is not None:
+            if queue_limit_bytes <= 0:
+                raise ValueError(
+                    f"queue limit must be positive, got {queue_limit_bytes}"
+                )
+            self.queue_limit_bytes = queue_limit_bytes
         self.rate_bps = rate_bps
         self.delay_s = delay_s
         self.loss_rate = loss_rate
@@ -67,6 +78,26 @@ class NetemQdisc:
         self.delay_s = 0.0
         self.loss_rate = 0.0
         self.protocol_filter = None
+
+    def reset(self, deliver_queued: bool = True) -> None:
+        """Deactivate shaping and dispose of the queue immediately.
+
+        :meth:`clear` leaves already-queued packets to drain at the old
+        rate; ``reset`` is the harsher buffer flush a chaos heal hook
+        wants: shaping state zeroes instantly and queued packets are
+        either handed to their delivery callbacks now
+        (``deliver_queued=True``) or counted as drops.
+        """
+        queued = list(self._queue)
+        self._queue.clear()
+        self._queued_bytes = 0
+        self._busy_until = 0.0
+        self.clear()
+        for packet, deliver in queued:
+            if deliver_queued:
+                deliver(packet)
+            else:
+                self.dropped_packets += 1
 
     @property
     def active(self) -> bool:

@@ -158,6 +158,9 @@ class CampaignPlan:
         grid: typing.Optional[typing.Mapping[str, typing.Sequence]] = None,
         seeds: typing.Iterable[int] = (0,),
         base_kwargs: typing.Optional[typing.Mapping[str, typing.Any]] = None,
+        keep: typing.Optional[
+            typing.Callable[[str, typing.Mapping[str, typing.Any]], bool]
+        ] = None,
     ) -> "CampaignPlan":
         """Expand experiment names x parameter grid x seed range.
 
@@ -169,6 +172,11 @@ class CampaignPlan:
         matrix) contribute one task per grid point with ``seed=None``
         instead of one per seed.  Grid points an experiment ignores are
         deduplicated, so it is not re-run once per irrelevant value.
+
+        ``keep(experiment_name, kwargs)`` prunes grid points *before*
+        tasks are built — sparse matrices (e.g. a chaos scenario that
+        only defines some intensities) stay declarative instead of
+        erroring at execution time.
         """
         grid = dict(grid or {})
         seed_list = list(seeds)
@@ -187,6 +195,8 @@ class CampaignPlan:
                     if _accepts_param(name, k)
                 }
                 kwargs.update(zip(axes, values))
+                if keep is not None and not keep(name, dict(kwargs)):
+                    continue
                 for seed in seed_list if seeded else [None]:
                     task = TaskSpec.create(name, kwargs, seed)
                     if task not in seen:

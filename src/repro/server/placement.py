@@ -27,6 +27,15 @@ REGIONAL = "regional"
 SERVER_ACCESS_DELAY_S = 0.0003
 
 
+class PlacementError(LookupError):
+    """A placement lookup targeted a region with no deployed host.
+
+    Chaos failover scenarios redirect clients to explicit regions; a
+    typo'd or undeployed region must fail loudly here rather than fall
+    back to whatever host happens to be nearest.
+    """
+
+
 @dataclasses.dataclass(frozen=True)
 class PlacementSpec:
     """Where and how a channel's servers are deployed."""
@@ -72,15 +81,43 @@ class PlacementDeployment:
     def all_hosts(self) -> list:
         return [host for hosts in self.hosts_by_site.values() for host in hosts]
 
-    def host_for(self, client_host: Host, user_index: int = 0) -> Host:
-        """The physical server instance serving this client."""
+    def host_for(
+        self,
+        client_host: Host,
+        user_index: int = 0,
+        region: typing.Optional[str] = None,
+    ) -> Host:
+        """The physical server instance serving this client.
+
+        ``region`` pins the lookup to one deployed site — the failover
+        path chaos scenarios use.  An unknown or host-less region raises
+        :class:`PlacementError` instead of silently falling back to the
+        default policy.
+        """
+        if region is not None:
+            hosts = self.hosts_by_site.get(region)
+            if not hosts:
+                raise PlacementError(
+                    f"no deployed host in region {region!r} for {self.spec.kind} "
+                    f"placement (deployed sites: {sorted(self.hosts_by_site)})"
+                )
+            return hosts[user_index % len(hosts)]
         if self.spec.kind == ANYCAST:
             group = self.anycast_groups[user_index % len(self.anycast_groups)]
             return self.network.anycast_member_for(client_host, group)
         if self.spec.kind == FIXED:
-            hosts = self.hosts_by_site[self.spec.site]
+            hosts = self.hosts_by_site.get(self.spec.site)
+            if not hosts:
+                raise PlacementError(
+                    f"FIXED placement site {self.spec.site!r} has no deployed "
+                    f"host (deployed sites: {sorted(self.hosts_by_site)})"
+                )
             return hosts[user_index % len(hosts)]
         # REGIONAL: the site nearest the client.
+        if not self.hosts_by_site:
+            raise PlacementError(
+                f"{self.spec.kind} placement has no deployed hosts at all"
+            )
         site = min(
             self.hosts_by_site,
             key=lambda s: client_host.location.distance_km(

@@ -1,8 +1,14 @@
 """Unit tests for the findings checker on synthetic inputs."""
 
 import dataclasses
+import math
+
+import pytest
 
 from repro.core.findings import (
+    CHAOS_FINDING_BASE,
+    chaos_finding,
+    check_finding_1_channels,
     check_finding_2_throughput,
     check_finding_3_scalability,
     check_finding_4_latency,
@@ -175,6 +181,54 @@ class FakeRun:
     frozen: bool
     tcp_recovered: bool
     stages: list
+
+
+@dataclasses.dataclass
+class FakeReport:
+    control: object
+    data: list
+
+
+def test_finding1_flags_report_with_no_data_rows():
+    finding = check_finding_1_channels({"vrchat": FakeReport(None, [])})
+    assert not finding.passed
+    assert "no data-channel rows" in finding.evidence
+
+
+def test_finding2_flags_nan_throughput_instead_of_passing():
+    table = _good_table3()
+    table["vrchat"] = FakeRow(
+        _summary(float("nan")), _summary(float("nan")), _summary(24.7)
+    )
+    finding = check_finding_2_throughput(table, {})
+    assert not finding.passed
+    assert "non-finite throughput" in finding.evidence
+
+
+def test_finding2_flags_infinite_avatar_throughput():
+    table = _good_table3()
+    table["vrchat"] = FakeRow(
+        _summary(31.4), _summary(31.3), _summary(math.inf)
+    )
+    finding = check_finding_2_throughput(table, {})
+    assert not finding.passed
+    assert "non-finite avatar throughput" in finding.evidence
+
+
+def test_finding2_verdict_is_stable_across_repeated_calls():
+    table = _good_table3()
+    forwarding = {"recroom": FakeForwarding(corr=0.95)}
+    first = check_finding_2_throughput(table, forwarding)
+    second = check_finding_2_throughput(table, forwarding)
+    assert first == second
+
+
+def test_chaos_finding_numbering_and_validation():
+    finding = chaos_finding(3, "chaos: link-flap", True, "ok")
+    assert finding.number == CHAOS_FINDING_BASE + 3
+    assert finding.passed
+    with pytest.raises(ValueError):
+        chaos_finding(-1, "bad", False, "")
 
 
 def test_finding5_pass_and_fail_paths():

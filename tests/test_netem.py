@@ -99,6 +99,55 @@ def test_configure_validation(sim):
         qdisc.configure(loss_rate=1.5)
     with pytest.raises(ValueError):
         qdisc.configure(delay_s=-0.1)
+    with pytest.raises(ValueError):
+        qdisc.configure(queue_limit_bytes=0)
+
+
+def test_configure_sets_queue_limit(sim):
+    qdisc = NetemQdisc(sim)
+    qdisc.configure(rate_bps=8000.0, queue_limit_bytes=2500)
+    assert qdisc.queue_limit_bytes == 2500
+    delivered = []
+    for _ in range(10):
+        qdisc.process(make_packet(size=1000), delivered.append)
+    sim.run()
+    assert qdisc.dropped_packets == 7
+    # None leaves the configured depth untouched.
+    qdisc.configure(rate_bps=8000.0)
+    assert qdisc.queue_limit_bytes == 2500
+
+
+def test_reset_delivers_queued_packets_immediately(sim):
+    qdisc = NetemQdisc(sim)
+    qdisc.configure(rate_bps=8000.0)  # 1000 B packet -> 1 s each
+    delivered = []
+    for _ in range(5):
+        qdisc.process(make_packet(size=1000), lambda p: delivered.append(sim.now))
+    sim.run(until=1.5)  # one packet out; four still queued/in flight
+    qdisc.reset()
+    assert not qdisc.active
+    assert delivered and all(t <= 1.5 for t in delivered)
+    assert len(delivered) >= 4  # queue drained at reset time, not paced
+    sim.run()
+    assert len(delivered) == 5
+    # Post-reset the qdisc is fully transparent again.
+    qdisc.process(make_packet(), lambda p: delivered.append(sim.now))
+    assert len(delivered) == 6
+
+
+def test_reset_can_drop_queued_packets(sim):
+    qdisc = NetemQdisc(sim)
+    qdisc.configure(rate_bps=8000.0)
+    delivered = []
+    for _ in range(5):
+        qdisc.process(make_packet(size=1000), delivered.append)
+    sim.run(until=0.5)
+    before = qdisc.dropped_packets
+    qdisc.reset(deliver_queued=False)
+    assert qdisc.dropped_packets > before
+    sim.run()
+    # Only packets already in transmission before the reset deliver.
+    assert len(delivered) + qdisc.dropped_packets == 5
 
 
 @settings(max_examples=20, deadline=None)
