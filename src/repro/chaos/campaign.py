@@ -15,7 +15,9 @@ import dataclasses
 import typing
 
 from ..measure.session import Testbed, download_drain_s
+from ..obs.context import MetricsOnlyObservability, active_collector
 from ..platforms.profiles import PLATFORM_NAMES
+from ..qoe.streams import QoeProbe
 from ..runner import CampaignPlan, run_campaign
 from .inject import FaultInjector
 from .scenarios import SCENARIOS, get_scenario, list_scenarios
@@ -35,8 +37,16 @@ def run_chaos_cell(
     """Run one (scenario, platform, intensity, seed) campaign cell."""
     spec = get_scenario(scenario)
     spec.params(intensity)  # fail fast on unknown intensity
-    testbed = Testbed(platform, n_users=2, seed=seed)
+    # A metrics-only bundle lights up the QoE source counters without
+    # kernel profiling; under an active collector (campaign worker with
+    # metrics_dir, CLI --profile) the collector's full obs applies
+    # instead.  Either way the scores are identical: they derive only
+    # from sim-deterministic metric values.
+    obs = None if active_collector() is not None else MetricsOnlyObservability()
+    testbed = Testbed(platform, n_users=2, seed=seed, obs=obs)
     testbed.start_all(join_at=JOIN_AT_S)
+    probe = QoeProbe(testbed)
+    probe.start()
     injector = FaultInjector(testbed, spec, intensity)
     fault_at = (
         JOIN_AT_S
@@ -47,7 +57,9 @@ def run_chaos_cell(
     heal_at = injector.arm(fault_at)
     end = heal_at + spec.observe_s
     testbed.run(until=end)
-    return compute_verdict(testbed, injector, spec, intensity, seed, end)
+    return compute_verdict(
+        testbed, injector, spec, intensity, seed, end, qoe_probe=probe
+    )
 
 
 def intensity_names() -> typing.List[str]:

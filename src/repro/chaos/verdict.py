@@ -58,6 +58,13 @@ class ChaosVerdict:
     session_survival_rate: float
     passed: bool
     evidence: str
+    #: QoE extension (defaulted so cached pre-QoE verdicts still load):
+    #: worst per-user mean MOS score observed in the cell.
+    qoe_worst_user_score: typing.Optional[float] = None
+    #: Users whose mean score fell below the degraded threshold.
+    qoe_users_below_threshold: int = 0
+    #: Total breach duration of the default QoE SLO over the cell.
+    qoe_slo_breach_s: float = 0.0
 
     def to_finding(self) -> Finding:
         """One report-card entry per campaign cell."""
@@ -76,6 +83,7 @@ def compute_verdict(
     intensity: str,
     seed: int,
     end: float,
+    qoe_probe=None,
 ) -> ChaosVerdict:
     """Judge one finished chaos run (the sim must already be at ``end``)."""
     fault_at, heal_at = injector.fault_at, injector.heal_at
@@ -117,6 +125,13 @@ def compute_verdict(
         f"(survival {survival:.3f}); "
         f"timeline {[label for _, label in injector.events]}"
     )
+    qoe_worst, qoe_below, qoe_breach_s = _qoe_fields(qoe_probe)
+    if qoe_worst is not None:
+        evidence += (
+            f"; QoE worst user {qoe_worst:.2f} MOS, "
+            f"{qoe_below} user(s) degraded, "
+            f"SLO breach {qoe_breach_s:.1f}s"
+        )
     verdict = ChaosVerdict(
         scenario=scenario.name,
         platform=testbed.profile.name,
@@ -132,9 +147,32 @@ def compute_verdict(
         session_survival_rate=round(survival, 6),
         passed=passed,
         evidence=evidence,
+        qoe_worst_user_score=qoe_worst,
+        qoe_users_below_threshold=qoe_below,
+        qoe_slo_breach_s=qoe_breach_s,
     )
     _export_metrics(testbed, verdict)
     return verdict
+
+
+def _qoe_fields(qoe_probe) -> typing.Tuple[typing.Optional[float], int, float]:
+    """(worst user score, degraded users, default-SLO breach seconds)
+    from an optional :class:`~repro.qoe.streams.QoeProbe`."""
+    if qoe_probe is None or not qoe_probe.enabled:
+        return None, 0, 0.0
+    from ..qoe.model import DEGRADED_THRESHOLD
+    from ..qoe.slo import DEFAULT_SLO, evaluate_slo
+
+    scores = qoe_probe.window_scores()
+    summaries = qoe_probe.user_summaries(scores=scores)
+    if not summaries:
+        return None, 0, 0.0
+    worst = round(min(summary.mean_score for summary in summaries), 6)
+    below = sum(
+        1 for summary in summaries if summary.mean_score < DEGRADED_THRESHOLD
+    )
+    report = evaluate_slo(DEFAULT_SLO, scores)
+    return worst, below, report.total_breach_s
 
 
 def _scan_recovery(

@@ -280,6 +280,61 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chaos.set_defaults(handler=_cmd_chaos, owns_metrics_out=True)
 
+    qoe = add_parser(
+        "qoe",
+        help="score per-user experience (MOS windows + SLOs, docs/QOE.md)",
+    )
+    qoe.add_argument(
+        "--platforms",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="platforms to score (default: all five)",
+    )
+    qoe.add_argument("--users", type=int, default=2, help="users per testbed")
+    qoe.add_argument(
+        "--duration", type=float, default=30.0, help="scored in-event seconds"
+    )
+    qoe.add_argument(
+        "--seeds",
+        default="1",
+        help="seed range: a count N (seeds 0..N-1) or an A:B half-open range",
+    )
+    qoe.add_argument(
+        "--slo",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="SLO to evaluate over pooled window scores per platform, "
+        "e.g. 'p05>=3.0/60s' or 'p05>=3.0/60s@0.05' (repeatable)",
+    )
+    qoe.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="arm this chaos scenario during the run (see 'chaos --help')",
+    )
+    qoe.add_argument(
+        "--intensity",
+        default="mild",
+        metavar="NAME",
+        help="intensity for --scenario (default: mild)",
+    )
+    qoe.add_argument("--workers", type=int, default=None)
+    qoe.add_argument(
+        "--serial", action="store_true", help="run in-process, in plan order"
+    )
+    qoe.add_argument("--timeout", type=float, default=None, metavar="SECONDS")
+    qoe.add_argument("--retries", type=int, default=2)
+    qoe.add_argument("--cache-dir", default=".repro-cache")
+    qoe.add_argument(
+        "--no-cache", action="store_true", help="always execute; never read or write the cache"
+    )
+    qoe.add_argument(
+        "--telemetry", default=None, metavar="PATH", help="append JSONL events here"
+    )
+    qoe.set_defaults(handler=_cmd_qoe, owns_metrics_out=True)
+
     trace = add_parser(
         "trace",
         help="run one experiment under full observability and profile it",
@@ -754,6 +809,13 @@ def _cmd_chaos(args) -> int:
                 verdict.packets_lost,
                 verdict.users_dropped,
                 f"{verdict.session_survival_rate:.3f}",
+                (
+                    f"{verdict.qoe_worst_user_score:.2f}"
+                    if verdict.qoe_worst_user_score is not None
+                    else "-"
+                ),
+                verdict.qoe_users_below_threshold,
+                f"{verdict.qoe_slo_breach_s:.0f}",
                 "pass" if verdict.passed else "FAIL",
             ]
         )
@@ -769,6 +831,9 @@ def _cmd_chaos(args) -> int:
                 "Pkts lost",
                 "Dropped",
                 "Survival",
+                "QoE worst",
+                "Degraded",
+                "Breach (s)",
                 "Verdict",
             ],
             rows,
@@ -777,6 +842,116 @@ def _cmd_chaos(args) -> int:
     print()
     passed = sum(1 for f in outcome.findings if f.passed)
     print(f"findings: {passed}/{len(outcome.findings)} cells passed")
+    print(outcome.campaign.summary.render())
+    for failure in outcome.campaign.failures:
+        print(f"FAILED {failure.spec.task_id}: {failure.error}", file=sys.stderr)
+    if args.telemetry:
+        print(f"\n[telemetry appended to {args.telemetry}]")
+    if args.metrics_out:
+        print(f"[per-task metrics written to {args.metrics_out}/]")
+    return 0 if outcome.ok else 1
+
+
+def _cmd_qoe(args) -> int:
+    from .qoe import SloSpec, evaluate_slo, mos_label, run_qoe_campaign
+
+    try:
+        slo_specs = [SloSpec.parse(text) for text in args.slo]
+    except ValueError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    try:
+        outcome = run_qoe_campaign(
+            platforms=args.platforms,
+            seeds=_parse_seeds(args.seeds),
+            n_users=args.users,
+            duration_s=args.duration,
+            scenario=args.scenario,
+            intensity=args.intensity,
+            parallel=not args.serial,
+            max_workers=args.workers,
+            timeout_s=args.timeout,
+            max_retries=args.retries,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            use_cache=not args.no_cache,
+            telemetry_path=args.telemetry,
+            metrics_dir=args.metrics_out,
+            collect_obs=args.profile,
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.scenario:
+        print(
+            f"QoE under fault: {args.scenario} @ {args.intensity} "
+            f"(scored windows span the fault and the recovery)"
+        )
+        print()
+    rows = []
+    for result in outcome.results:
+        for user in result.users:
+            rows.append(
+                [
+                    result.platform,
+                    result.seed,
+                    user.user,
+                    user.n_windows,
+                    f"{user.mean_score:.2f}",
+                    f"{user.worst_score:.2f}",
+                    f"{user.seconds_below:.0f}",
+                    mos_label(user.mean_score),
+                ]
+            )
+    print(
+        render_table(
+            [
+                "Platform",
+                "Seed",
+                "User",
+                "Windows",
+                "Mean MOS",
+                "Worst",
+                "Below (s)",
+                "Rating",
+            ],
+            rows,
+        )
+    )
+    if slo_specs:
+        print()
+        slo_rows = []
+        compliant_cells = 0
+        for platform in outcome.platforms():
+            windows = outcome.pooled_windows(platform)
+            for spec in slo_specs:
+                report = evaluate_slo(spec, windows)
+                compliant_cells += report.compliant
+                slo_rows.append(
+                    [
+                        platform,
+                        spec.name,
+                        len(report.breaches),
+                        f"{report.total_breach_s:.0f}",
+                        f"{report.worst_burn_rate:.2f}",
+                        "pass" if report.compliant else "FAIL",
+                    ]
+                )
+        print(
+            render_table(
+                [
+                    "Platform",
+                    "SLO",
+                    "Breaches",
+                    "Breach (s)",
+                    "Worst burn",
+                    "Verdict",
+                ],
+                slo_rows,
+            )
+        )
+        print()
+        print(f"findings: {compliant_cells}/{len(slo_rows)} SLO cells compliant")
+    print()
     print(outcome.campaign.summary.render())
     for failure in outcome.campaign.failures:
         print(f"FAILED {failure.spec.task_id}: {failure.error}", file=sys.stderr)
@@ -932,6 +1107,11 @@ def _cmd_scale(args) -> int:
         f"  aggregate server egress: mean {result.mean_egress_gbps:.2f} Gbps, "
         f"peak {result.peak_egress_gbps:.2f} Gbps "
         f"(peak single room {result.peak_room_egress_bps / 1e6:.1f} Mbps)"
+    )
+    print(
+        f"  cohort QoE: mean {result.mean_mos:.2f} MOS, "
+        f"worst bin {result.worst_bin_mos:.2f}, "
+        f"degraded {result.qoe_degraded_user_hours:,.1f} user-hours"
     )
     print(
         f"  simulated in {result.wall_time_s:.2f} s wall "

@@ -38,6 +38,17 @@ def chaos_finding(index: int, title: str, passed: bool, evidence: str) -> Findin
     return Finding(CHAOS_FINDING_BASE + index, title, passed, evidence)
 
 
+#: QoE/SLO verdicts get their own number block above the chaos family.
+QOE_FINDING_BASE = 200
+
+
+def qoe_finding(index: int, title: str, passed: bool, evidence: str) -> Finding:
+    """Build the :class:`Finding` for one QoE SLO evaluation."""
+    if index < 0:
+        raise ValueError(f"qoe finding index must be >= 0, got {index}")
+    return Finding(QOE_FINDING_BASE + index, title, passed, evidence)
+
+
 def _bad_number(value) -> bool:
     """True for None/NaN/inf — values no verdict may silently compare.
 

@@ -48,6 +48,7 @@ def _build_registry() -> typing.Dict[str, ExperimentSpec]:
     )
     from ..chaos.campaign import run_chaos_cell
     from ..core.solutions import compare_solutions
+    from ..qoe.campaign import run_qoe_cell
     from ..scale.shard import metaverse_scale_experiment
     from .infrastructure import regional_study
     from .prediction import run_viewport_tradeoff
@@ -178,6 +179,13 @@ def _build_registry() -> typing.Dict[str, ExperimentSpec]:
             "one chaos fault-injection cell (scenario x platform x intensity)",
             run_chaos_cell,
             {"scenario": "link-flap", "platform": "vrchat"},
+        ),
+        ExperimentSpec(
+            "qoe-score",
+            "Sec. 8 (extension)",
+            "per-user QoE scoring cell (MOS windows + SLO evaluation)",
+            run_qoe_cell,
+            {"platform": "vrchat"},
         ),
     ]
     return {spec.name: spec for spec in specs}

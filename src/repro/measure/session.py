@@ -86,18 +86,24 @@ class Testbed:
         room_id: str = DEFAULT_ROOM,
         muted: bool = True,
         retain_records: bool = True,
+        obs=None,
     ) -> None:
         """``retain_records=False`` puts every station's sniffer in
         streaming mode: register accumulators via
         ``station.sniffer.stream_bins(...)`` before running, and no
         per-packet :class:`~repro.capture.sniffer.PacketRecord` objects
-        are kept (long runs then need O(bins) capture memory)."""
+        are kept (long runs then need O(bins) capture memory).
+
+        ``obs`` is handed straight to the :class:`Simulator` — pass a
+        :class:`~repro.obs.MetricsOnlyObservability` to light up the
+        metric registry (e.g. for :mod:`repro.qoe`) without the
+        per-event kernel profiling of a full collector."""
         if isinstance(platform, PlatformProfile):
             self.profile = platform
         else:
             self.profile = get_profile(platform)
         self.room_id = room_id
-        self.sim = Simulator(seed=seed)
+        self.sim = Simulator(seed=seed, obs=obs)
         self.network = Network(self.sim)
         self.resolver = Resolver()
 

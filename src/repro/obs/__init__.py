@@ -33,6 +33,7 @@ Quickstart::
 
 from .context import (
     NULL_OBS,
+    MetricsOnlyObservability,
     ObsCollector,
     Observability,
     active_collector,
@@ -40,7 +41,15 @@ from .context import (
     obs_of,
     observability_for_new_simulator,
 )
-from .export import render, sanitize_metric_name, to_prometheus, write_json, write_jsonl
+from .export import (
+    escape_label_value,
+    read_jsonl,
+    render,
+    sanitize_metric_name,
+    to_prometheus,
+    write_json,
+    write_jsonl,
+)
 from .metrics import (
     NULL_REGISTRY,
     Counter,
@@ -57,6 +66,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MetricsOnlyObservability",
     "MetricsRegistry",
     "NullRegistry",
     "NullTracer",
@@ -70,9 +80,11 @@ __all__ = [
     "Tracer",
     "active_collector",
     "collect",
+    "escape_label_value",
     "format_labels",
     "obs_of",
     "observability_for_new_simulator",
+    "read_jsonl",
     "render",
     "sanitize_metric_name",
     "to_prometheus",

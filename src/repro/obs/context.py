@@ -33,6 +33,12 @@ class Observability:
     """Per-simulation bundle: one registry + one tracer."""
 
     enabled = True
+    #: Whether the kernel should profile every event dispatch (qualname
+    #: lookups, wall-clock spans, per-callback histograms).  Layer-level
+    #: instruments only check ``enabled``, so subclasses can turn this
+    #: off to keep counters/gauges live while the run loop stays on the
+    #: fast unobserved path.
+    observe_kernel = True
 
     def __init__(self, max_trace_events: typing.Optional[int] = None) -> None:
         self.registry = MetricsRegistry()
@@ -46,6 +52,24 @@ class Observability:
 
     def dump(self) -> dict:
         return {"metrics": self.registry.dump(), "trace": self.tracer.dump()}
+
+
+class MetricsOnlyObservability(Observability):
+    """Metrics without tracing or kernel profiling.
+
+    Built for derived-signal consumers like :mod:`repro.qoe` that need
+    the platform/link counters and gauges live but none of the per-event
+    kernel spans: the registry is real, the tracer is the shared no-op,
+    and ``observe_kernel`` keeps the simulator on its inlined fast run
+    loop.  Metric values are sim-deterministic, so anything scored off
+    this registry matches what a fully observed run would score.
+    """
+
+    observe_kernel = False
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.tracer = NULL_TRACER
 
 
 class _NullObservability:
@@ -97,15 +121,23 @@ class ObsCollector:
         metrics = {"counters": [], "gauges": [], "histograms": []}
         events: typing.List[dict] = []
         dropped = 0
+        dropped_by_kind: typing.Dict[str, int] = {}
         for obs in self.observabilities:
             sub = obs.dump()
             for kind in metrics:
                 metrics[kind].extend(sub["metrics"][kind])
             events.extend(sub["trace"]["events"])
             dropped += sub["trace"]["dropped"]
+            for kind, count in sub["trace"].get("dropped_by_kind", {}).items():
+                dropped_by_kind[kind] = dropped_by_kind.get(kind, 0) + count
         return {
             "metrics": metrics,
-            "trace": {"events": events, "dropped": dropped, "max_events": None},
+            "trace": {
+                "events": events,
+                "dropped": dropped,
+                "dropped_by_kind": dict(sorted(dropped_by_kind.items())),
+                "max_events": None,
+            },
             "n_simulations": len(self.observabilities),
         }
 

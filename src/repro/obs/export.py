@@ -25,6 +25,36 @@ def sanitize_metric_name(name: str) -> str:
     return name.replace(".", "_").replace("-", "_")
 
 
+def escape_label_value(value) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote, and line-feed are the three characters the
+    format requires escaping inside quoted label values; anything else
+    passes through.  Link names like ``u1->ap "den"`` would otherwise
+    produce an unparseable exposition.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_labels(labels: tuple) -> str:
+    """Render a label tuple for the exposition format, values escaped.
+
+    Distinct from :func:`repro.obs.metrics.format_labels`, which is also
+    the snapshot-series *key* and must stay byte-stable.
+    """
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{escape_label_value(value)}"' for name, value in labels
+    )
+    return "{" + inner + "}"
+
+
 def to_prometheus(registry: MetricsRegistry) -> str:
     """Prometheus text exposition of every metric in ``registry``."""
     lines: typing.List[str] = []
@@ -38,11 +68,11 @@ def to_prometheus(registry: MetricsRegistry) -> str:
     for counter in sorted(registry.counters(), key=lambda m: (m.name, m.labels)):
         name = sanitize_metric_name(counter.name) + "_total"
         type_line(name, "counter")
-        lines.append(f"{name}{format_labels(counter.labels)} {counter.value:g}")
+        lines.append(f"{name}{_prom_labels(counter.labels)} {counter.value:g}")
     for gauge in sorted(registry.gauges(), key=lambda m: (m.name, m.labels)):
         name = sanitize_metric_name(gauge.name)
         type_line(name, "gauge")
-        lines.append(f"{name}{format_labels(gauge.labels)} {gauge.read():g}")
+        lines.append(f"{name}{_prom_labels(gauge.labels)} {gauge.read():g}")
     for hist in sorted(registry.histograms(), key=lambda m: (m.name, m.labels)):
         name = sanitize_metric_name(hist.name)
         type_line(name, "histogram")
@@ -50,11 +80,11 @@ def to_prometheus(registry: MetricsRegistry) -> str:
         for bound, bucket in zip(hist.bounds, hist.bucket_counts):
             cumulative += bucket
             labels = hist.labels + (("le", f"{bound:g}"),)
-            lines.append(f"{name}_bucket{format_labels(labels)} {cumulative}")
+            lines.append(f"{name}_bucket{_prom_labels(labels)} {cumulative}")
         labels = hist.labels + (("le", "+Inf"),)
-        lines.append(f"{name}_bucket{format_labels(labels)} {hist.count}")
-        lines.append(f"{name}_sum{format_labels(hist.labels)} {hist.sum:g}")
-        lines.append(f"{name}_count{format_labels(hist.labels)} {hist.count}")
+        lines.append(f"{name}_bucket{_prom_labels(labels)} {hist.count}")
+        lines.append(f"{name}_sum{_prom_labels(hist.labels)} {hist.sum:g}")
+        lines.append(f"{name}_count{_prom_labels(hist.labels)} {hist.count}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -110,7 +140,10 @@ def write_jsonl(dump: dict, path: str) -> int:
         for event in trace.get("events", []):
             emit({"event": "trace", **event})
         if trace.get("dropped"):
-            emit({"event": "trace_dropped", "count": trace["dropped"]})
+            record = {"event": "trace_dropped", "count": trace["dropped"]}
+            if trace.get("dropped_by_kind"):
+                record["by_kind"] = trace["dropped_by_kind"]
+            emit(record)
         snapshots = dump.get("snapshots")
         if snapshots:
             for key, series in snapshots.get("series", {}).items():
@@ -124,6 +157,47 @@ def write_jsonl(dump: dict, path: str) -> int:
                     }
                 )
     return count
+
+
+def read_jsonl(path: str) -> dict:
+    """Reload a :func:`write_jsonl` file into a dump-shaped dict.
+
+    The inverse of :func:`write_jsonl` for everything it serializes:
+    metrics come back as ``dump["metrics"]`` lists, trace events and the
+    dropped counters as ``dump["trace"]``, and snapshot series as
+    ``dump["snapshots"]`` (absent when none were written, matching the
+    optional ``snapshots`` key on the write side).
+    """
+    metrics: dict = {"counters": [], "gauges": [], "histograms": []}
+    trace: dict = {"events": [], "dropped": 0, "dropped_by_kind": {}}
+    snapshots: dict = {"period_s": None, "series": {}}
+    have_snapshots = False
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            event = record.pop("event", None)
+            if event == "metric":
+                kind = record.pop("kind")
+                metrics[kind + "s"].append(record)
+            elif event == "trace":
+                trace["events"].append(record)
+            elif event == "trace_dropped":
+                trace["dropped"] = record.get("count", 0)
+                trace["dropped_by_kind"] = record.get("by_kind", {})
+            elif event == "snapshot_series":
+                have_snapshots = True
+                snapshots["period_s"] = record.get("period_s")
+                snapshots["series"][record["metric"]] = {
+                    "times": record["times"],
+                    "values": record["values"],
+                }
+    dump = {"metrics": metrics, "trace": trace}
+    if have_snapshots:
+        dump["snapshots"] = snapshots
+    return dump
 
 
 def write_json(dump: dict, path: str) -> None:

@@ -12,6 +12,7 @@ yields a throughput series directly comparable with
 
 from __future__ import annotations
 
+import math
 import typing
 
 from .metrics import MetricsRegistry, format_labels
@@ -26,6 +27,13 @@ class PeriodicSnapshotter:
         registry: typing.Optional[MetricsRegistry] = None,
         period_s: float = 1.0,
     ) -> None:
+        if not (isinstance(period_s, (int, float)) and math.isfinite(period_s)) or (
+            period_s <= 0
+        ):
+            raise ValueError(
+                f"PeriodicSnapshotter period_s must be a positive finite "
+                f"number of sim-seconds, got {period_s!r}"
+            )
         if registry is None:
             registry = sim.obs.registry
         self.sim = sim

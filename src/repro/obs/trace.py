@@ -75,6 +75,10 @@ class Tracer:
         self.max_events = max_events
         self.events: typing.List[dict] = []
         self.dropped = 0
+        #: Per-kind breakdown of discarded records, so a truncated trace
+        #: says *what* it lost (all hops? all spans?) instead of only
+        #: how much.
+        self.dropped_by_kind: typing.Dict[str, int] = {}
 
     def bind(self, sim) -> None:
         """Attach the simulator whose clock stamps events."""
@@ -89,6 +93,7 @@ class Tracer:
     def emit(self, kind: str, **fields) -> None:
         if len(self.events) >= self.max_events:
             self.dropped += 1
+            self.dropped_by_kind[kind] = self.dropped_by_kind.get(kind, 0) + 1
             return
         record = {"t": self.sim_now(), "kind": kind}
         record.update(fields)
@@ -143,6 +148,7 @@ class Tracer:
         return {
             "events": list(self.events),
             "dropped": self.dropped,
+            "dropped_by_kind": dict(sorted(self.dropped_by_kind.items())),
             "max_events": self.max_events,
         }
 
@@ -171,7 +177,7 @@ class NullTracer(Tracer):
         pass
 
     def dump(self) -> dict:
-        return {"events": [], "dropped": 0, "max_events": 0}
+        return {"events": [], "dropped": 0, "dropped_by_kind": {}, "max_events": 0}
 
 
 #: Shared no-op tracer used whenever observability is disabled.

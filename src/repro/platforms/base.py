@@ -272,6 +272,21 @@ class PlatformClient:
             }
             self._rx_counters = {ch: rx(ch) for ch in ("avatar", "session", "voice")}
 
+            # QoE source signals (repro.qoe derives per-window scores by
+            # differencing/reading these; all fn-gauges are pure reads
+            # so snapshotting them cannot perturb the simulation).
+            self._qoe_updates = registry.counter("qoe.updates_received", user=user_id)
+            self._qoe_latency_sum = registry.counter(
+                "qoe.update_latency_sum_s", user=user_id
+            )
+            registry.gauge(
+                "qoe.active_remotes", user=user_id, fn=self.active_remote_count
+            )
+            registry.gauge(
+                "qoe.update_staleness_s", user=user_id, fn=self._update_staleness_s
+            )
+            registry.gauge("qoe.phase", user=user_id, fn=self._qoe_phase_code)
+
         # Avatar state
         self.pose = Pose(position=Vec3(0.0, 0.0, 0.0))
         self.motion: Motion = motion or Wander()
@@ -290,6 +305,9 @@ class PlatformClient:
 
         # Stage / session state
         self.stage = "init"
+        #: True while the per-join download runs (``stage`` stays
+        #: "welcome" during it); MetaVRadar's world-switch phase.
+        self.joining = False
         self.room_id: typing.Optional[str] = None
         self.in_game = False
         self.screen_share_kbps = 0.0
@@ -388,6 +406,7 @@ class PlatformClient:
             self.leave()
 
     def _join_event(self):
+        self.joining = True
         spec = self.profile.control
         # Per-join download (Hubs ~20 MB, Worlds ~5 MB; Sec. 5.2).
         remaining = int(spec.join_download_mb * 1_000_000)
@@ -408,6 +427,7 @@ class PlatformClient:
                 yield Timeout(0.05)
         self._open_data_channel()
         self.stage = "event"
+        self.joining = False
         self._start_avatar_timer()
         self._start_overhead_timer()
         if self.profile.control.report_interval_s is not None:
@@ -727,6 +747,9 @@ class PlatformClient:
         state["window_received"] += 1
         state["position"] = Vec3(*update.position)
         state["last_time"] = now
+        if self._obs.enabled:
+            self._qoe_updates.inc()
+            self._qoe_latency_sum.inc(now - update.sent_at)
         if update.carries_action:
             self._display_action(update, now)
 
@@ -862,6 +885,29 @@ class PlatformClient:
             for state in self.remote_avatars.values()
             if self.sim.now - state.get("last_time", -10.0) < 3.0
         )
+
+    def _update_staleness_s(self) -> float:
+        """Seconds since the newest remote avatar update (0 when fresh
+        or when no remote has ever been heard from)."""
+        newest = None
+        for state in self.remote_avatars.values():
+            last = state.get("last_time")
+            if last is not None and (newest is None or last > newest):
+                newest = last
+        if newest is None:
+            return 0.0
+        return max(0.0, self.sim.now - newest)
+
+    def qoe_phase(self) -> str:
+        """MetaVRadar-style lifecycle phase of this user right now."""
+        from ..qoe.model import classify_phase
+
+        return classify_phase(self.stage, self.joining, self.active_remote_count())
+
+    def _qoe_phase_code(self) -> float:
+        from ..qoe.model import phase_code
+
+        return float(phase_code(self.qoe_phase()))
 
     def rendered_avatars(self) -> int:
         """Remote avatars inside the headset viewport (GPU/FPS-relevant)."""

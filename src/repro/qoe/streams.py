@@ -1,0 +1,267 @@
+"""Per-user QoE signal streams derived from the obs registries.
+
+A :class:`QoeProbe` rides a :class:`~repro.obs.PeriodicSnapshotter`
+over a testbed's metric registry and, after the run, differences the
+sampled counter series and reads the sampled gauges into per-window
+:class:`~repro.qoe.model.ChannelSignals` — end-to-end avatar-update
+latency, update loss against the platform's advertised rate, staleness,
+world/session freshness, voice activity, and device FPS from
+:mod:`repro.device.metrics`.
+
+The probe is strictly read-only: fn-gauges are pure reads, counter
+sampling copies values, and the snapshotter's tick events touch no
+simulation state — an observed run stays byte-identical to an
+unobserved one, the load-bearing invariant of :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..obs.context import obs_of
+from ..obs.snapshot import PeriodicSnapshotter
+from .model import (
+    DEFAULT_MODEL,
+    DEGRADED_THRESHOLD,
+    ChannelSignals,
+    QoeModel,
+    phase_from_code,
+)
+
+#: Default scoring-window width in sim seconds.
+QOE_WINDOW_S = 2.0
+
+#: Below this many expected updates a window cannot estimate loss.
+_MIN_EXPECTED_UPDATES = 0.5
+
+
+@dataclasses.dataclass(frozen=True)
+class SignalWindow:
+    """Raw derived signals for one user over one snapshot window."""
+
+    user: str
+    t0: float
+    t1: float
+    phase: str
+    signals: ChannelSignals
+
+
+@dataclasses.dataclass(frozen=True)
+class WindowScore:
+    """One scored window: the atom SLO evaluation pools over."""
+
+    user: str
+    t0: float
+    t1: float
+    phase: str
+    score: float
+
+
+@dataclasses.dataclass(frozen=True)
+class UserQoeSummary:
+    """Whole-run experience summary for one user."""
+
+    user: str
+    n_windows: int
+    mean_score: float
+    worst_score: float
+    best_score: float
+    #: Sim-seconds spent in windows scoring below the threshold.
+    seconds_below: float
+
+
+class QoeProbe:
+    """Samples a testbed's registry and scores per-user windows."""
+
+    def __init__(
+        self,
+        testbed,
+        model: QoeModel = DEFAULT_MODEL,
+        period_s: float = QOE_WINDOW_S,
+    ) -> None:
+        self.testbed = testbed
+        self.sim = testbed.sim
+        self.model = model
+        self.period_s = period_s
+        self.registry = obs_of(self.sim).registry
+        self.snapshotter = PeriodicSnapshotter(
+            self.sim, self.registry, period_s=period_s
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.registry.enabled)
+
+    @property
+    def users(self) -> typing.List[str]:
+        return [station.client.user_id for station in self.testbed.stations]
+
+    def start(self) -> None:
+        """Begin sampling (no-op when observability is disabled)."""
+        self.snapshotter.start()
+
+    def stop(self) -> None:
+        self.snapshotter.stop()
+
+    # ------------------------------------------------------------------
+    # Signal derivation
+    # ------------------------------------------------------------------
+    def _series(self, name: str, **labels) -> typing.Tuple[list, list]:
+        return self.snapshotter.series(name, **labels)
+
+    def signal_windows(self) -> typing.List[SignalWindow]:
+        """Per-user per-window raw signals, in (user, time) order."""
+        windows: typing.List[SignalWindow] = []
+        for station in self.testbed.stations:
+            windows.extend(self._user_windows(station))
+        return windows
+
+    def _user_windows(self, station) -> typing.List[SignalWindow]:
+        client = station.client
+        user = client.user_id
+        rate_hz = client.profile.data.update_rate_hz
+
+        times, updates = self._series("qoe.updates_received", user=user)
+        if len(times) < 2:
+            return []
+        _, latency_sums = self._series("qoe.update_latency_sum_s", user=user)
+        _, remotes = self._series("qoe.active_remotes", user=user)
+        _, staleness = self._series("qoe.update_staleness_s", user=user)
+        _, phase_codes = self._series("qoe.phase", user=user)
+        _, fps = self._series("device.fps", user=user)
+        _, session_rx = self._series(
+            "platform.client.rx_bytes", channel="session", user=user
+        )
+        _, voice_rx = self._series(
+            "platform.client.rx_bytes", channel="voice", user=user
+        )
+        _, voice_tx = self._series(
+            "platform.client.tx_bytes", channel="voice", user=user
+        )
+
+        voice_active = bool(voice_rx) and bool(voice_tx) and (
+            (voice_rx[-1] - voice_rx[0]) + (voice_tx[-1] - voice_tx[0]) > 0
+        )
+        session_last_activity = self._activity_times(times, session_rx)
+
+        windows: typing.List[SignalWindow] = []
+        for i in range(1, len(times)):
+            t0, t1 = times[i - 1], times[i]
+            span = t1 - t0
+            d_updates = updates[i] - updates[i - 1]
+            d_latency = latency_sums[i] - latency_sums[i - 1] if latency_sums else 0.0
+
+            motion_latency_ms = (
+                round(d_latency / d_updates * 1000.0, 6) if d_updates > 0 else None
+            )
+            expected = remotes[i] * rate_hz * span if remotes else 0.0
+            motion_loss = (
+                round(min(1.0, max(0.0, 1.0 - d_updates / expected)), 6)
+                if expected > _MIN_EXPECTED_UPDATES
+                else None
+            )
+            motion_staleness_s = (
+                round(staleness[i], 6) if staleness and updates[i] > 0 else None
+            )
+
+            world_staleness_s = None
+            if session_last_activity is not None:
+                last = session_last_activity[i]
+                if last is not None:
+                    world_staleness_s = round(max(0.0, t1 - last), 6)
+
+            voice_latency_ms = None
+            voice_loss = None
+            if voice_active:
+                d_voice = voice_rx[i] - voice_rx[i - 1]
+                voice_loss = 1.0 if d_voice <= 0 else 0.0
+                # Voice shares the data path; reuse the motion latency
+                # sample as the mouth-to-ear network component.
+                voice_latency_ms = motion_latency_ms
+
+            render_fps = round(fps[i], 6) if fps else None
+            phase = phase_from_code(phase_codes[i]) if phase_codes else "steady"
+
+            windows.append(
+                SignalWindow(
+                    user=user,
+                    t0=round(t0, 6),
+                    t1=round(t1, 6),
+                    phase=phase,
+                    signals=ChannelSignals(
+                        motion_latency_ms=motion_latency_ms,
+                        motion_loss=motion_loss,
+                        motion_staleness_s=motion_staleness_s,
+                        voice_latency_ms=voice_latency_ms,
+                        voice_loss=voice_loss,
+                        world_staleness_s=world_staleness_s,
+                        render_fps=render_fps,
+                    ),
+                )
+            )
+        return windows
+
+    @staticmethod
+    def _activity_times(
+        times: typing.Sequence[float], values: typing.Sequence[float]
+    ) -> typing.Optional[typing.List[typing.Optional[float]]]:
+        """``result[i]`` = last sample time (<= times[i]) at which the
+        cumulative counter increased; None entries before any activity;
+        None result when the series was never sampled."""
+        if not values:
+            return None
+        result: typing.List[typing.Optional[float]] = []
+        last: typing.Optional[float] = times[0] if values[0] > 0 else None
+        result.append(last)
+        for i in range(1, len(values)):
+            if values[i] > values[i - 1]:
+                last = times[i]
+            result.append(last)
+        return result
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def window_scores(self) -> typing.List[WindowScore]:
+        """Every signal window pushed through the scoring model."""
+        return [
+            WindowScore(
+                user=window.user,
+                t0=window.t0,
+                t1=window.t1,
+                phase=window.phase,
+                score=self.model.score(window.signals, window.phase),
+            )
+            for window in self.signal_windows()
+        ]
+
+    def user_summaries(
+        self,
+        threshold: float = DEGRADED_THRESHOLD,
+        scores: typing.Optional[typing.Sequence[WindowScore]] = None,
+    ) -> typing.List[UserQoeSummary]:
+        """Per-user roll-up of the window scores, in user order."""
+        if scores is None:
+            scores = self.window_scores()
+        by_user: typing.Dict[str, typing.List[WindowScore]] = {}
+        for score in scores:
+            by_user.setdefault(score.user, []).append(score)
+        summaries: typing.List[UserQoeSummary] = []
+        for user in self.users:
+            rows = by_user.get(user, [])
+            if not rows:
+                continue
+            values = [row.score for row in rows]
+            below = sum(row.t1 - row.t0 for row in rows if row.score < threshold)
+            summaries.append(
+                UserQoeSummary(
+                    user=user,
+                    n_windows=len(rows),
+                    mean_score=round(sum(values) / len(values), 6),
+                    worst_score=round(min(values), 6),
+                    best_score=round(max(values), 6),
+                    seconds_below=round(below, 6),
+                )
+            )
+        return summaries

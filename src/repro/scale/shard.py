@@ -22,6 +22,7 @@ import numpy as np
 
 from ..capture.timeseries import ThroughputSeries
 from ..obs.context import active_collector, obs_of  # noqa: F401  (obs_of re-exported for shard workers)
+from ..qoe.cohort import mean_mos_per_bin, room_qoe
 from ..simcore import derive_seed
 from .aggregate import ARCHITECTURES
 from .fluid import simulate_room
@@ -78,6 +79,13 @@ def simulate_shard(
     n_bins = int(math.ceil(scenario.duration_s / scenario.bin_s))
     egress_bits = np.zeros(n_bins)
     viewer_bits = np.zeros(n_bins)
+    # QoE accumulates in integer micro-user-seconds: int64 addition is
+    # exact and associative, so the merged totals are byte-identical no
+    # matter how rooms are grouped into shards (float bin values are
+    # not: summation order changes the low bits).
+    mos_micro_us = np.zeros(n_bins, dtype=np.int64)
+    micro_us = np.zeros(n_bins, dtype=np.int64)
+    qoe_below_micro_us = 0
     user_seconds = 0.0
     peak_egress_bps = 0.0
     peak_occupancy = 0
@@ -104,11 +112,22 @@ def simulate_shard(
         user_seconds += result.user_seconds
         peak_egress_bps = max(peak_egress_bps, result.peak_egress_bps)
         peak_occupancy = max(peak_occupancy, int(max(result.occupancy.values)))
+        qoe = room_qoe(result, scenario.duration_s, scenario.bin_s)
+        mos_micro_us += np.rint(
+            np.asarray(qoe.mos_user_seconds_per_bin) * 1e6
+        ).astype(np.int64)
+        micro_us += np.rint(
+            np.asarray(qoe.user_seconds_per_bin) * 1e6
+        ).astype(np.int64)
+        qoe_below_micro_us += int(round(qoe.below_threshold_user_s * 1e6))
     return {
         "first_room": first_room,
         "n_rooms": n_rooms,
         "egress_bits_per_bin": egress_bits.tolist(),
         "viewer_bits_per_bin": viewer_bits.tolist(),
+        "mos_micro_user_seconds_per_bin": mos_micro_us.tolist(),
+        "micro_user_seconds_per_bin": micro_us.tolist(),
+        "qoe_below_micro_user_seconds": qoe_below_micro_us,
         "user_seconds": user_seconds,
         "peak_room_egress_bps": peak_egress_bps,
         "peak_occupancy": peak_occupancy,
@@ -131,6 +150,17 @@ class ScaleResult:
     peak_occupancy: int
     wall_time_s: float
     shard_wall_time_s: float
+    #: Cohort QoE: per-bin MOS-weighted user-seconds and user-seconds
+    #: (occupancy-weighted mean MOS per bin = their ratio).
+    mos_user_seconds_per_bin: np.ndarray = dataclasses.field(
+        default_factory=lambda: np.zeros(0)
+    )
+    user_seconds_per_bin: np.ndarray = dataclasses.field(
+        default_factory=lambda: np.zeros(0)
+    )
+    #: User-seconds spent at occupancies scoring below the degraded
+    #: threshold, summed over all rooms.
+    qoe_below_user_seconds: float = 0.0
 
     @property
     def total_users(self) -> int:
@@ -147,6 +177,32 @@ class ScaleResult:
     @property
     def peak_egress_gbps(self) -> float:
         return float(self.egress_series.bps.max()) / 1e9
+
+    @property
+    def mos_per_bin(self) -> np.ndarray:
+        """Occupancy-weighted mean MOS per bin across all rooms."""
+        return mean_mos_per_bin(
+            self.mos_user_seconds_per_bin, self.user_seconds_per_bin
+        )
+
+    @property
+    def mean_mos(self) -> float:
+        """User-second-weighted mean MOS over the whole run."""
+        total = float(np.sum(self.user_seconds_per_bin))
+        if total <= 0:
+            return 0.0
+        return float(np.sum(self.mos_user_seconds_per_bin)) / total
+
+    @property
+    def worst_bin_mos(self) -> float:
+        """Lowest occupied-bin mean MOS (0.0 when nothing was occupied)."""
+        mos = self.mos_per_bin
+        occupied = mos[np.asarray(self.user_seconds_per_bin) > 0]
+        return float(occupied.min()) if occupied.size else 0.0
+
+    @property
+    def qoe_degraded_user_hours(self) -> float:
+        return self.qoe_below_user_seconds / 3600.0
 
 
 def shard_ranges(n_rooms: int, shards: int) -> typing.List[typing.Tuple[int, int]]:
@@ -222,6 +278,9 @@ def run_sharded(
     n_bins = int(math.ceil(scenario.duration_s / scenario.bin_s))
     egress_bits = np.zeros(n_bins)
     viewer_bits = np.zeros(n_bins)
+    mos_micro_us = np.zeros(n_bins, dtype=np.int64)
+    micro_us = np.zeros(n_bins, dtype=np.int64)
+    qoe_below_micro_us = 0
     user_seconds = 0.0
     peak_room = 0.0
     peak_occupancy = 0
@@ -229,6 +288,13 @@ def run_sharded(
     for partial in partials:
         egress_bits += np.asarray(partial["egress_bits_per_bin"])
         viewer_bits += np.asarray(partial["viewer_bits_per_bin"])
+        mos_micro_us += np.asarray(
+            partial["mos_micro_user_seconds_per_bin"], dtype=np.int64
+        )
+        micro_us += np.asarray(
+            partial["micro_user_seconds_per_bin"], dtype=np.int64
+        )
+        qoe_below_micro_us += partial["qoe_below_micro_user_seconds"]
         user_seconds += partial["user_seconds"]
         peak_room = max(peak_room, partial["peak_room_egress_bps"])
         peak_occupancy = max(peak_occupancy, partial["peak_occupancy"])
@@ -248,6 +314,9 @@ def run_sharded(
         peak_occupancy=peak_occupancy,
         wall_time_s=time.perf_counter() - started,
         shard_wall_time_s=shard_wall,
+        mos_user_seconds_per_bin=mos_micro_us / 1e6,
+        user_seconds_per_bin=micro_us / 1e6,
+        qoe_below_user_seconds=qoe_below_micro_us / 1e6,
     )
     collector = active_collector()
     if collector is not None:
@@ -295,6 +364,9 @@ def metaverse_scale_experiment(
         "mean_concurrent_users": result.mean_concurrent_users,
         "mean_egress_gbps": result.mean_egress_gbps,
         "peak_egress_gbps": result.peak_egress_gbps,
+        "mean_mos": round(result.mean_mos, 6),
+        "worst_bin_mos": round(result.worst_bin_mos, 6),
+        "qoe_degraded_user_hours": round(result.qoe_degraded_user_hours, 6),
         "wall_time_s": result.wall_time_s,
         "capacity": [
             {

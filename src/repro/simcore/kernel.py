@@ -73,7 +73,9 @@ class Simulator:
         self.obs = obs
         obs.bind(self)
         #: Cached flag so the disabled path is one attribute check.
-        self._obs_enabled = obs.enabled
+        #: Metrics-only bundles keep layer instruments live but opt out
+        #: of per-event kernel profiling via ``observe_kernel``.
+        self._obs_enabled = obs.enabled and getattr(obs, "observe_kernel", True)
         if self._obs_enabled:
             registry = obs.registry
             self._registry = registry

@@ -239,6 +239,27 @@ def test_snapshotter_noop_when_disabled():
     assert snapshotter.keys() == []
 
 
+def test_snapshotter_rejects_nonpositive_or_nonfinite_periods():
+    sim = Simulator(seed=1)
+    for bad in (0.0, -1.0, float("inf"), float("nan")):
+        with pytest.raises(ValueError):
+            PeriodicSnapshotter(sim, period_s=bad)
+
+
+def test_snapshotter_stop_before_start_and_double_start():
+    with collect():
+        sim = Simulator(seed=1)
+        sim.obs.registry.gauge("g", fn=lambda: 1.0)
+        snapshotter = PeriodicSnapshotter(sim, period_s=1.0)
+        snapshotter.stop()  # stop before start is a no-op
+        snapshotter.start()
+        snapshotter.start()  # double start must not double-sample
+        sim.run(until=2.5)
+    times, values = snapshotter.series("g")
+    assert times == [1.0, 2.0]
+    assert values == [1.0, 1.0]
+
+
 def test_snapshotter_dump_shape():
     with collect():
         sim = Simulator(seed=1)

@@ -8,11 +8,12 @@ import pytest
 from repro.obs import (
     NULL_REGISTRY,
     MetricsRegistry,
+    escape_label_value,
     format_labels,
     sanitize_metric_name,
     to_prometheus,
 )
-from repro.obs.export import render, write_json, write_jsonl
+from repro.obs.export import read_jsonl, render, write_json, write_jsonl
 
 
 # ----------------------------------------------------------------------
@@ -141,6 +142,42 @@ def test_prometheus_histogram_buckets_are_cumulative():
     assert 'd_bucket{le="+Inf"} 2' in text
 
 
+def test_escape_label_value():
+    assert escape_label_value("plain") == "plain"
+    assert escape_label_value("a\\b") == "a\\\\b"
+    assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+    assert escape_label_value("two\nlines") == "two\\nlines"
+    assert escape_label_value(7) == "7"
+
+
+def test_prometheus_escapes_hostile_label_values():
+    registry = MetricsRegistry()
+    hostile = 'u1->ap "den"\\x\ny'
+    registry.counter("net.bytes", link=hostile).inc(1)
+    text = to_prometheus(registry)
+    assert 'link="u1->ap \\"den\\"\\\\x\\ny"' in text
+    # Every exposition line must stay one physical line of
+    # name{labels} value — a raw newline in a label would split it.
+    for line in text.splitlines():
+        if line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        assert name_part and float(value_part) == 1.0
+
+
+def test_prometheus_histogram_with_hostile_labels_conforms():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat.ms", buckets=(1.0,), where='q "a"\n')
+    hist.observe(0.5)
+    hist.observe(3.0)
+    text = to_prometheus(registry)
+    escaped = 'where="q \\"a\\"\\n"'
+    assert f'lat_ms_bucket{{{escaped},le="1"}} 1' in text
+    assert f'lat_ms_bucket{{{escaped},le="+Inf"}} 2' in text
+    assert f"lat_ms_sum{{{escaped}}} 3.5" in text
+    assert f"lat_ms_count{{{escaped}}} 2" in text
+
+
 def test_render_table_and_clipping():
     registry = MetricsRegistry()
     for index in range(5):
@@ -165,6 +202,46 @@ def test_write_jsonl_creates_parents_and_counts_lines(tmp_path):
     assert lines[0]["event"] == "metric"
     assert lines[1]["event"] == "trace"
     assert lines[2] == {"event": "trace_dropped", "count": 2}
+
+
+def test_jsonl_round_trip_recovers_the_dump(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("c", k="v").inc(2)
+    registry.counter("c", k="w").inc(3)  # same name, labels-only split
+    registry.gauge("g").set(1.5)
+    registry.histogram("h").observe(0.25)
+    dump = {
+        "metrics": registry.dump(),
+        "trace": {
+            "events": [{"t": 0.0, "kind": "hop", "hop": "enqueue"}],
+            "dropped": 2,
+            "dropped_by_kind": {"hop": 2},
+        },
+        "snapshots": {
+            "period_s": 0.5,
+            "series": {'g{k="v"}': {"times": [0.5], "values": [1.5]}},
+        },
+    }
+    path = str(tmp_path / "dump.jsonl")
+    write_jsonl(dump, path)
+    assert read_jsonl(path) == dump
+
+
+def test_jsonl_round_trip_empty_registry(tmp_path):
+    dump = {
+        "metrics": MetricsRegistry().dump(),
+        "trace": {"events": [], "dropped": 0},
+    }
+    path = str(tmp_path / "empty.jsonl")
+    assert write_jsonl(dump, path) == 0
+    reloaded = read_jsonl(path)
+    assert reloaded["metrics"] == dump["metrics"]
+    assert reloaded["trace"] == {
+        "events": [],
+        "dropped": 0,
+        "dropped_by_kind": {},
+    }
+    assert "snapshots" not in reloaded
 
 
 def test_write_json_creates_parents(tmp_path):

@@ -78,6 +78,21 @@ def test_buffer_cap_counts_drops():
     assert tracer.dump()["max_events"] == 3
 
 
+def test_buffer_cap_breaks_drops_down_by_kind():
+    tracer = Tracer(max_events=2)
+    tracer.emit("span")
+    tracer.emit("hop")
+    for _ in range(4):
+        tracer.emit("hop")
+    tracer.emit("span")
+    assert tracer.dropped == 5
+    assert tracer.dropped_by_kind == {"hop": 4, "span": 1}
+    dump = tracer.dump()
+    assert dump["dropped_by_kind"] == {"hop": 4, "span": 1}
+    # Sorted by kind, so dumps are byte-stable across emission orders.
+    assert list(dump["dropped_by_kind"]) == ["hop", "span"]
+
+
 def test_select_filters_by_kind():
     tracer = Tracer()
     tracer.emit("a")
@@ -119,4 +134,9 @@ def test_null_tracer_discards_everything():
     with NULL_TRACER.span("region"):
         pass
     assert NULL_TRACER.events == []
-    assert NULL_TRACER.dump() == {"events": [], "dropped": 0, "max_events": 0}
+    assert NULL_TRACER.dump() == {
+        "events": [],
+        "dropped": 0,
+        "dropped_by_kind": {},
+        "max_events": 0,
+    }
