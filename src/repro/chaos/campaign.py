@@ -18,7 +18,7 @@ from ..measure.session import Testbed, download_drain_s
 from ..obs.context import MetricsOnlyObservability, active_collector
 from ..platforms.profiles import PLATFORM_NAMES
 from ..qoe.streams import QoeProbe
-from ..runner import CampaignPlan, run_campaign
+from ..runner import CampaignPlan, TelemetryWriter, run_campaign
 from .inject import FaultInjector
 from .scenarios import SCENARIOS, get_scenario, list_scenarios
 from .verdict import ChaosVerdict, compute_verdict
@@ -134,31 +134,63 @@ def run_chaos_campaign(
     metrics_dir: typing.Optional[str] = None,
     collect_obs: bool = False,
 ) -> ChaosCampaignOutcome:
-    """Run a chaos matrix through the campaign runner."""
+    """Run a chaos matrix through the campaign runner.
+
+    The driver owns the telemetry stream: every event carries the
+    plan-derived ``campaign_id``, and each completed cell is echoed as
+    a ``chaos_verdict`` event after the runner's ``campaign_end`` —
+    the join point the HTML campaign report uses.
+    """
     plan = build_chaos_plan(scenarios, platforms, intensities, seeds)
-    campaign = run_campaign(
-        plan,
-        parallel=parallel,
-        max_workers=max_workers,
-        timeout_s=timeout_s,
-        max_retries=max_retries,
-        cache_dir=cache_dir,
-        use_cache=use_cache,
-        telemetry_path=telemetry_path,
-        metrics_dir=metrics_dir,
-        collect_obs=collect_obs,
-    )
-    verdicts = _ordered_verdicts(campaign)
+    with TelemetryWriter(
+        telemetry_path, context={"campaign_id": plan.campaign_id}
+    ) as telemetry:
+        campaign = run_campaign(
+            plan,
+            parallel=parallel,
+            max_workers=max_workers,
+            timeout_s=timeout_s,
+            max_retries=max_retries,
+            cache_dir=cache_dir,
+            use_cache=use_cache,
+            telemetry=telemetry,
+            metrics_dir=metrics_dir,
+            collect_obs=collect_obs,
+        )
+        verdicts = _ordered_verdicts(campaign, plan.campaign_id)
+        for verdict in verdicts:
+            telemetry.emit(
+                "chaos_verdict",
+                task=verdict.task_id,
+                scenario=verdict.scenario,
+                platform=verdict.platform,
+                intensity=verdict.intensity,
+                seed=verdict.seed,
+                passed=verdict.passed,
+                recovered=verdict.recovered,
+                recovery_time_s=verdict.recovery_time_s,
+                session_survival_rate=verdict.session_survival_rate,
+            )
     return ChaosCampaignOutcome(campaign=campaign, verdicts=verdicts)
 
 
-def _ordered_verdicts(campaign) -> typing.List[ChaosVerdict]:
-    """Successful verdicts in a canonical, shard-independent order."""
-    verdicts = [
-        result.value
-        for result in campaign
-        if result.ok and isinstance(result.value, ChaosVerdict)
-    ]
+def _ordered_verdicts(campaign, campaign_id: str = "") -> typing.List[ChaosVerdict]:
+    """Successful verdicts in a canonical, shard-independent order,
+    stamped with the correlation ids of the campaign that ran them."""
+    verdicts = []
+    for result in campaign:
+        if not (result.ok and isinstance(result.value, ChaosVerdict)):
+            continue
+        verdict = result.value
+        try:
+            verdict = dataclasses.replace(
+                verdict,
+                campaign_id=campaign_id,
+                task_id=result.spec.task_id,
+            )
+        except (AttributeError, TypeError):  # cached pre-correlation pickle
+            pass
+        verdicts.append(verdict)
     verdicts.sort(
         key=lambda v: (v.scenario, v.platform, v.intensity, v.seed)
     )

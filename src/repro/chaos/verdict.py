@@ -65,6 +65,10 @@ class ChaosVerdict:
     qoe_users_below_threshold: int = 0
     #: Total breach duration of the default QoE SLO over the cell.
     qoe_slo_breach_s: float = 0.0
+    #: Correlation ids (defaulted so cached pre-observability verdicts
+    #: still load): the campaign and task this verdict came from.
+    campaign_id: str = ""
+    task_id: str = ""
 
     def to_finding(self) -> Finding:
         """One report-card entry per campaign cell."""

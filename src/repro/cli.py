@@ -132,9 +132,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="after the run, print the top-10 kernel callbacks by "
         "dispatch wall time",
     )
+    live = argparse.ArgumentParser(add_help=False)
+    live.add_argument(
+        "--live-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live observability on 127.0.0.1:PORT while the run "
+        "executes: GET /metrics (Prometheus), /progress (JSON), "
+        "/events (SSE); 0 picks a free port (docs/OBSERVABILITY.md)",
+    )
 
-    def add_parser(name: str, **kwargs):
-        return sub.add_parser(name, parents=[common], **kwargs)
+    def add_parser(name: str, live_plane: bool = False, **kwargs):
+        parents = [common, live] if live_plane else [common]
+        return sub.add_parser(name, parents=parents, **kwargs)
 
     sub = parser.add_subparsers(dest="command")
 
@@ -194,6 +205,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     campaign = add_parser(
         "campaign",
+        live_plane=True,
         help="run an experiment matrix in parallel with caching + telemetry",
     )
     campaign.add_argument(
@@ -234,6 +246,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     chaos = add_parser(
         "chaos",
+        live_plane=True,
         help="run fault-injection resiliency campaigns (docs/CHAOS.md)",
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog=_chaos_catalog_text(),
@@ -282,6 +295,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     qoe = add_parser(
         "qoe",
+        live_plane=True,
         help="score per-user experience (MOS windows + SLOs, docs/QOE.md)",
     )
     qoe.add_argument(
@@ -364,9 +378,34 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.set_defaults(handler=_cmd_trace, owns_metrics_out=True)
 
     report = add_parser(
-        "report", help="run the findings bundle and print the report card"
+        "report",
+        help="print the findings report card, or render an HTML campaign "
+        "report from telemetry + metrics artifacts (--html)",
     )
     report.add_argument("--output", default=None, help="also write markdown here")
+    report.add_argument(
+        "--html",
+        default=None,
+        metavar="PATH",
+        help="render a static HTML campaign report here (joins "
+        "--telemetry and --metrics-dir on campaign_id)",
+    )
+    report.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="campaign telemetry JSONL to include in the HTML report",
+    )
+    report.add_argument(
+        "--metrics-dir",
+        default=None,
+        metavar="DIR",
+        help="campaign metrics directory (per-task dumps + index + "
+        "aggregated registry) to include in the HTML report",
+    )
+    report.add_argument(
+        "--title", default="Campaign report", help="HTML report title"
+    )
     report.set_defaults(handler=_cmd_report)
 
     event = add_parser(
@@ -379,6 +418,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     scale = add_parser(
         "scale",
+        live_plane=True,
         help="fluid fan-out: project the testbed calibration to "
         "metaverse-scale populations",
     )
@@ -690,6 +730,33 @@ def _parse_grid(params: typing.Sequence[str]) -> dict:
     return grid
 
 
+def _maybe_live(args):
+    """Context manager: a live obs server when ``--live-port`` was given.
+
+    Prints the endpoint before the run starts, so a watcher can attach
+    while tasks execute.  The live plane is read-only — results are
+    byte-identical with or without it.
+    """
+    import contextlib
+
+    port = getattr(args, "live_port", None)
+    if port is None:
+        return contextlib.nullcontext(None)
+
+    @contextlib.contextmanager
+    def _serving():
+        from .obs.live import live_server
+
+        with live_server(port=port) as server:
+            print(
+                f"[live observability at {server.url} — "
+                f"/metrics /progress /events]"
+            )
+            yield server
+
+    return _serving()
+
+
 def _cmd_campaign(args) -> int:
     from .measure.experiment import registry
     from .runner import CampaignPlan, run_campaign
@@ -705,18 +772,19 @@ def _cmd_campaign(args) -> int:
         print(exc.args[0], file=sys.stderr)
         return 2
     print(f"Running {plan.describe()}...")
-    campaign = run_campaign(
-        plan,
-        parallel=not args.serial,
-        max_workers=args.workers,
-        timeout_s=args.timeout,
-        max_retries=args.retries,
-        cache_dir=None if args.no_cache else args.cache_dir,
-        use_cache=not args.no_cache,
-        telemetry_path=args.telemetry,
-        metrics_dir=args.metrics_out,
-        collect_obs=args.profile,
-    )
+    with _maybe_live(args):
+        campaign = run_campaign(
+            plan,
+            parallel=not args.serial,
+            max_workers=args.workers,
+            timeout_s=args.timeout,
+            max_retries=args.retries,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            use_cache=not args.no_cache,
+            telemetry_path=args.telemetry,
+            metrics_dir=args.metrics_out,
+            collect_obs=args.profile,
+        )
     rows = []
     for name in plan.experiments:
         per = [r for r in campaign if r.spec.experiment == name]
@@ -774,21 +842,22 @@ def _cmd_chaos(args) -> int:
     print(_chaos_catalog_text())
     print()
     try:
-        outcome = run_chaos_campaign(
-            scenarios=args.scenarios,
-            platforms=args.platforms,
-            intensities=args.intensities,
-            seeds=_parse_seeds(args.seeds),
-            parallel=not args.serial,
-            max_workers=args.workers,
-            timeout_s=args.timeout,
-            max_retries=args.retries,
-            cache_dir=None if args.no_cache else args.cache_dir,
-            use_cache=not args.no_cache,
-            telemetry_path=args.telemetry,
-            metrics_dir=args.metrics_out,
-            collect_obs=args.profile,
-        )
+        with _maybe_live(args):
+            outcome = run_chaos_campaign(
+                scenarios=args.scenarios,
+                platforms=args.platforms,
+                intensities=args.intensities,
+                seeds=_parse_seeds(args.seeds),
+                parallel=not args.serial,
+                max_workers=args.workers,
+                timeout_s=args.timeout,
+                max_retries=args.retries,
+                cache_dir=None if args.no_cache else args.cache_dir,
+                use_cache=not args.no_cache,
+                telemetry_path=args.telemetry,
+                metrics_dir=args.metrics_out,
+                collect_obs=args.profile,
+            )
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -861,23 +930,24 @@ def _cmd_qoe(args) -> int:
         print(exc.args[0], file=sys.stderr)
         return 2
     try:
-        outcome = run_qoe_campaign(
-            platforms=args.platforms,
-            seeds=_parse_seeds(args.seeds),
-            n_users=args.users,
-            duration_s=args.duration,
-            scenario=args.scenario,
-            intensity=args.intensity,
-            parallel=not args.serial,
-            max_workers=args.workers,
-            timeout_s=args.timeout,
-            max_retries=args.retries,
-            cache_dir=None if args.no_cache else args.cache_dir,
-            use_cache=not args.no_cache,
-            telemetry_path=args.telemetry,
-            metrics_dir=args.metrics_out,
-            collect_obs=args.profile,
-        )
+        with _maybe_live(args):
+            outcome = run_qoe_campaign(
+                platforms=args.platforms,
+                seeds=_parse_seeds(args.seeds),
+                n_users=args.users,
+                duration_s=args.duration,
+                scenario=args.scenario,
+                intensity=args.intensity,
+                parallel=not args.serial,
+                max_workers=args.workers,
+                timeout_s=args.timeout,
+                max_retries=args.retries,
+                cache_dir=None if args.no_cache else args.cache_dir,
+                use_cache=not args.no_cache,
+                telemetry_path=args.telemetry,
+                metrics_dir=args.metrics_out,
+                collect_obs=args.profile,
+            )
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -1044,6 +1114,24 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    if args.html:
+        from .obs.report import write_campaign_report
+
+        if not args.telemetry and not args.metrics_dir:
+            print(
+                "--html needs --telemetry and/or --metrics-dir to report on",
+                file=sys.stderr,
+            )
+            return 2
+        path = write_campaign_report(
+            args.html,
+            telemetry_path=args.telemetry,
+            metrics_dir=args.metrics_dir,
+            title=args.title,
+        )
+        print(f"[campaign report written to {path}]")
+        return 0
+
     from .core.report_card import build_report_card
 
     card = build_report_card()
@@ -1085,13 +1173,14 @@ def _cmd_scale(args) -> int:
         bin_s=args.bin,
         churn=not args.no_churn,
     )
-    result = run_sharded(
-        scenario,
-        args.rooms,
-        seed=args.seed,
-        parallel=False if args.serial else None,
-        max_workers=args.workers,
-    )
+    with _maybe_live(args):
+        result = run_sharded(
+            scenario,
+            args.rooms,
+            seed=args.seed,
+            parallel=False if args.serial else None,
+            max_workers=args.workers,
+        )
     total = result.total_users
     print(
         f"{scenario.platform} / {scenario.architecture}: "

@@ -44,12 +44,23 @@ from .context import (
 from .export import (
     escape_label_value,
     read_jsonl,
+    read_telemetry_jsonl,
     render,
     sanitize_metric_name,
     to_prometheus,
     write_json,
     write_jsonl,
 )
+from .fleet import (
+    FleetAggregator,
+    aggregate_metrics_dir,
+    is_deterministic_metric,
+    load_campaign_registry,
+    registry_fleet_dump,
+    write_campaign_registry,
+)
+from .live import LiveObsServer, active_live_server, live_server
+from .report import build_campaign_report, write_campaign_report
 from .metrics import (
     NULL_REGISTRY,
     Counter,
@@ -64,8 +75,10 @@ from .trace import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
     "Counter",
+    "FleetAggregator",
     "Gauge",
     "Histogram",
+    "LiveObsServer",
     "MetricsOnlyObservability",
     "MetricsRegistry",
     "NullRegistry",
@@ -79,15 +92,25 @@ __all__ = [
     "Span",
     "Tracer",
     "active_collector",
+    "active_live_server",
+    "aggregate_metrics_dir",
+    "build_campaign_report",
     "collect",
     "escape_label_value",
     "format_labels",
+    "is_deterministic_metric",
+    "live_server",
+    "load_campaign_registry",
     "obs_of",
     "observability_for_new_simulator",
     "read_jsonl",
+    "read_telemetry_jsonl",
+    "registry_fleet_dump",
     "render",
     "sanitize_metric_name",
     "to_prometheus",
+    "write_campaign_registry",
+    "write_campaign_report",
     "write_json",
     "write_jsonl",
 ]

@@ -113,6 +113,17 @@ class ObsCollector:
             "simulations": [obs.dump() for obs in self.observabilities],
         }
 
+    def fleet_dump(self, source: str = "") -> dict:
+        """The mergeable (fleet-form) aggregate of every collected
+        registry — what campaign workers ship for cross-worker
+        aggregation (:mod:`repro.obs.fleet`)."""
+        from .fleet import FleetAggregator
+
+        aggregator = FleetAggregator()
+        for obs in self.observabilities:
+            aggregator.add_registry(obs.registry, source=source)
+        return aggregator.dump()
+
     def merged_dump(self) -> dict:
         """A single-simulation-shaped dump; most tasks build exactly one
         Simulator, and for those this is just its dump."""

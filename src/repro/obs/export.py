@@ -200,6 +200,24 @@ def read_jsonl(path: str) -> dict:
     return dump
 
 
+def read_telemetry_jsonl(path: str) -> typing.List[dict]:
+    """Load a campaign telemetry stream (one JSON event per line).
+
+    The reader for :class:`repro.runner.telemetry.TelemetryWriter`
+    files: returns the raw event records in file order, skipping blank
+    lines.  Used by the HTML campaign report to join ``campaign_end``
+    summaries, failures, and driver-level ``chaos_verdict`` /
+    ``qoe_cell`` events back to the aggregated metrics.
+    """
+    events: typing.List[dict] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
 def write_json(dump: dict, path: str) -> None:
     """Write a full observability dump as one pretty-printed JSON file."""
     parent = os.path.dirname(os.path.abspath(path))

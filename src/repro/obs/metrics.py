@@ -61,9 +61,14 @@ class Gauge:
     (queue depths, heap sizes): registration is one dict insert and the
     value is only computed when something reads it — the hot path never
     pays.
+
+    ``seq`` counts explicit writes; fleet aggregation
+    (:mod:`repro.obs.fleet`) uses it as the first component of the
+    last-writer total order when the same labeled gauge appears in
+    several worker registries.
     """
 
-    __slots__ = ("name", "labels", "fn", "_value")
+    __slots__ = ("name", "labels", "fn", "_value", "seq")
 
     def __init__(
         self,
@@ -75,9 +80,11 @@ class Gauge:
         self.labels = labels
         self.fn = fn
         self._value = 0.0
+        self.seq = 0
 
     def set(self, value: float) -> None:
         self._value = value
+        self.seq += 1
 
     def read(self) -> float:
         if self.fn is not None:

@@ -22,7 +22,7 @@ import typing
 from ..measure.session import Testbed, download_drain_s
 from ..obs.context import MetricsOnlyObservability, active_collector
 from ..platforms.profiles import PLATFORM_NAMES
-from ..runner import CampaignPlan, run_campaign
+from ..runner import CampaignPlan, TelemetryWriter, run_campaign
 from .slo import SloReport, SloSpec, evaluate_slo
 from .streams import QoeProbe, UserQoeSummary, WindowScore
 
@@ -49,6 +49,10 @@ class QoeCellResult:
     worst_score: float
     #: User-seconds spent below the degraded threshold, summed over users.
     below_threshold_user_s: float
+    #: Correlation ids (defaulted so cached pre-observability results
+    #: still load): the campaign and task this cell came from.
+    campaign_id: str = ""
+    task_id: str = ""
 
     def evaluate(self, spec: SloSpec) -> SloReport:
         """Evaluate one SLO over this cell's window scores."""
@@ -179,7 +183,13 @@ def run_qoe_campaign(
     metrics_dir: typing.Optional[str] = None,
     collect_obs: bool = False,
 ) -> QoeCampaignOutcome:
-    """Run a QoE matrix through the campaign runner."""
+    """Run a QoE matrix through the campaign runner.
+
+    The driver owns the telemetry stream: every event carries the
+    plan-derived ``campaign_id``, and each scored cell is echoed as a
+    ``qoe_cell`` event after the runner's ``campaign_end`` — the join
+    point the HTML campaign report uses.
+    """
     plan = build_qoe_plan(
         platforms,
         seeds,
@@ -188,28 +198,53 @@ def run_qoe_campaign(
         scenario=scenario,
         intensity=intensity,
     )
-    campaign = run_campaign(
-        plan,
-        parallel=parallel,
-        max_workers=max_workers,
-        timeout_s=timeout_s,
-        max_retries=max_retries,
-        cache_dir=cache_dir,
-        use_cache=use_cache,
-        telemetry_path=telemetry_path,
-        metrics_dir=metrics_dir,
-        collect_obs=collect_obs,
-    )
-    results = _ordered_results(campaign)
+    with TelemetryWriter(
+        telemetry_path, context={"campaign_id": plan.campaign_id}
+    ) as telemetry:
+        campaign = run_campaign(
+            plan,
+            parallel=parallel,
+            max_workers=max_workers,
+            timeout_s=timeout_s,
+            max_retries=max_retries,
+            cache_dir=cache_dir,
+            use_cache=use_cache,
+            telemetry=telemetry,
+            metrics_dir=metrics_dir,
+            collect_obs=collect_obs,
+        )
+        results = _ordered_results(campaign, plan.campaign_id)
+        for cell in results:
+            telemetry.emit(
+                "qoe_cell",
+                task=cell.task_id,
+                platform=cell.platform,
+                seed=cell.seed,
+                scenario=cell.scenario,
+                intensity=cell.intensity,
+                mean_score=cell.mean_score,
+                worst_score=cell.worst_score,
+                below_threshold_user_s=cell.below_threshold_user_s,
+            )
     return QoeCampaignOutcome(campaign=campaign, results=results)
 
 
-def _ordered_results(campaign) -> typing.List[QoeCellResult]:
-    """Successful results in a canonical, shard-independent order."""
-    results = [
-        result.value
-        for result in campaign
-        if result.ok and isinstance(result.value, QoeCellResult)
-    ]
+def _ordered_results(campaign, campaign_id: str = "") -> typing.List[QoeCellResult]:
+    """Successful results in a canonical, shard-independent order,
+    stamped with the correlation ids of the campaign that ran them."""
+    results = []
+    for result in campaign:
+        if not (result.ok and isinstance(result.value, QoeCellResult)):
+            continue
+        cell = result.value
+        try:
+            cell = dataclasses.replace(
+                cell,
+                campaign_id=campaign_id,
+                task_id=result.spec.task_id,
+            )
+        except (AttributeError, TypeError):  # cached pre-correlation pickle
+            pass
+        results.append(cell)
     results.sort(key=lambda r: (r.platform, r.seed))
     return results

@@ -29,12 +29,14 @@ no state is shared between tasks.
 from __future__ import annotations
 
 import dataclasses
+import os
+import re
 import time
 import typing
 
 from .cache import ResultCache
-from .executor import CampaignExecutor, TaskResult
-from .plan import CampaignPlan, TaskSpec, experiment_accepts_seed
+from .executor import CampaignExecutor, TaskResult, set_live_queue
+from .plan import CampaignPlan, TaskSpec, campaign_id_for, experiment_accepts_seed
 from .telemetry import CampaignSummary, TelemetryWriter
 
 __all__ = [
@@ -46,12 +48,22 @@ __all__ = [
     "TaskResult",
     "TaskSpec",
     "TelemetryWriter",
+    "campaign_id_for",
     "experiment_accepts_seed",
     "run_campaign",
 ]
 
 #: Default on-disk cache location (gitignored).
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def task_dump_filename(task_id: str) -> str:
+    """Filesystem-safe per-task dump filename embedding the task id.
+
+    The task id already ends in a content-address fragment, so the name
+    is stable and collision-free across retries and re-runs.
+    """
+    return re.sub(r"[^A-Za-z0-9._@#+=-]", "_", task_id) + ".json"
 
 
 def _write_task_metrics(metrics_dir: str, task_result: TaskResult, telemetry) -> str:
@@ -61,7 +73,7 @@ def _write_task_metrics(metrics_dir: str, task_result: TaskResult, telemetry) ->
     from ..obs.export import write_json
 
     os.makedirs(metrics_dir, exist_ok=True)
-    filename = task_result.spec.task_id.replace("/", "_") + ".json"
+    filename = task_dump_filename(task_result.spec.task_id)
     path = os.path.join(metrics_dir, filename)
     write_json(task_result.metrics, path)
     metrics = task_result.metrics.get("metrics", {})
@@ -74,6 +86,38 @@ def _write_task_metrics(metrics_dir: str, task_result: TaskResult, telemetry) ->
         n_gauges=len(metrics.get("gauges", [])),
         n_trace_events=len(trace.get("events", [])),
     )
+    return path
+
+
+def _write_campaign_index(
+    metrics_dir: str,
+    campaign_id: str,
+    results: typing.Sequence[TaskResult],
+    dump_names: typing.Mapping[str, str],
+) -> str:
+    """Write ``index.json``: task_id -> params/seed/status/dump path."""
+    import json
+    import os
+
+    tasks = {}
+    for result in results:
+        spec = result.spec
+        tasks[spec.task_id] = {
+            "experiment": spec.experiment,
+            "seed": spec.seed,
+            "params": spec.kwargs_dict,
+            "cache_key": spec.cache_key(),
+            "status": result.status,
+            "from_cache": result.from_cache,
+            "attempts": result.attempts,
+            "dump": dump_names.get(spec.task_id),
+        }
+    index = {"schema": 1, "campaign_id": campaign_id, "tasks": tasks}
+    path = os.path.join(metrics_dir, "index.json")
+    os.makedirs(metrics_dir, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(index, handle, indent=1, sort_keys=True, default=str)
+        handle.write("\n")
     return path
 
 
@@ -134,18 +178,36 @@ def run_campaign(
     failures without aborting the campaign; inspect
     ``result.failures`` or ``result.summary.ok``.
 
-    ``collect_obs=True`` (implied by ``metrics_dir``) runs every task
-    under :mod:`repro.obs` collection: each executed task's
-    ``TaskResult.metrics`` carries its observability dump (kernel event
-    counts, per-channel byte counters, packet hop traces), and with
-    ``metrics_dir`` each dump is also written to
-    ``<metrics_dir>/<task_id>.json`` next to the runner telemetry.
-    Cached results carry no metrics — they were not re-executed.
+    ``collect_obs=True`` (implied by ``metrics_dir``, and by an active
+    live server) runs every task under :mod:`repro.obs` collection:
+    each executed task's ``TaskResult.metrics`` carries its
+    observability dump (kernel event counts, per-channel byte counters,
+    packet hop traces) plus the mergeable ``registry`` form used for
+    fleet aggregation, and with ``metrics_dir`` each dump is also
+    written to ``<metrics_dir>/<task_id>.json`` next to an
+    ``index.json`` (task_id -> params/seed/dump path) and the
+    cross-worker ``campaign_registry.json`` aggregate (byte-identical
+    for any worker count).  Cached results carry no metrics — they were
+    not re-executed.
+
+    When a :func:`repro.obs.live.live_server` block is active, the run
+    additionally streams progress events and per-task metric deltas to
+    it; the live plane is read-only, so results are byte-identical
+    whether or not it is attached.
     """
+    from ..obs.live import active_live_server
+
     tasks = list(plan)
+    campaign_id = campaign_id_for(tasks)
     own_telemetry = telemetry is None
     if telemetry is None:
-        telemetry = TelemetryWriter(telemetry_path)
+        telemetry = TelemetryWriter(
+            telemetry_path, context={"campaign_id": campaign_id}
+        )
+    live = active_live_server()
+    if live is not None:
+        telemetry.add_listener(live.on_telemetry)
+        collect_obs = True
     cache = None
     if use_cache and cache_dir is not None:
         cache = ResultCache(cache_dir)
@@ -184,20 +246,69 @@ def run_campaign(
         backoff_s=backoff_s,
         collect_obs=collect_obs,
     )
-    if to_run:
-        specs = [task for _, task in to_run]
-        if parallel:
-            executed = executor.run(specs, telemetry)
-        else:
-            executed = executor.run_serial(specs, telemetry)
-        for (index, _), task_result in zip(to_run, executed):
-            results[index] = task_result
-            if cache is not None and task_result.ok:
-                cache.put(task_result.spec, task_result.value, task_result.wall_time_s)
-            if metrics_dir is not None and task_result.metrics is not None:
-                _write_task_metrics(metrics_dir, task_result, telemetry)
+    live_queue = None
+    if live is not None and to_run:
+        # Workers stream end-of-task metric deltas over this queue;
+        # fork-started pools inherit it through the module global.  On
+        # other start methods the parent-side fold below still feeds
+        # the aggregator, just at result-collection time.
+        import multiprocessing
+
+        context = multiprocessing.get_context(executor.start_method)
+        live_queue = context.Queue()
+        set_live_queue(live_queue)
+        live.attach_queue(live_queue)
+    dump_names: typing.Dict[str, str] = {}
+    try:
+        if to_run:
+            specs = [task for _, task in to_run]
+            if parallel:
+                executed = executor.run(specs, telemetry)
+            else:
+                executed = executor.run_serial(specs, telemetry)
+            for (index, _), task_result in zip(to_run, executed):
+                results[index] = task_result
+                if cache is not None and task_result.ok:
+                    cache.put(
+                        task_result.spec, task_result.value, task_result.wall_time_s
+                    )
+                if task_result.metrics is not None:
+                    task_result.metrics["campaign_id"] = campaign_id
+                    if live is not None:
+                        live.note_task_metrics(
+                            task_result.spec.task_id,
+                            task_result.metrics.get("registry"),
+                        )
+                if metrics_dir is not None and task_result.metrics is not None:
+                    path = _write_task_metrics(metrics_dir, task_result, telemetry)
+                    dump_names[task_result.spec.task_id] = os.path.basename(path)
+    finally:
+        if live_queue is not None:
+            set_live_queue(None)
 
     final = typing.cast(typing.List[TaskResult], results)
+    if metrics_dir is not None:
+        from ..obs.fleet import (
+            REGISTRY_FILENAME,
+            FleetAggregator,
+            write_campaign_registry,
+        )
+
+        aggregator = FleetAggregator()
+        for result in final:
+            if result.metrics is not None:
+                aggregator.add_dump(result.metrics.get("registry"))
+        registry_path = os.path.join(metrics_dir, REGISTRY_FILENAME)
+        write_campaign_registry(aggregator, registry_path, campaign_id=campaign_id)
+        index_path = _write_campaign_index(
+            metrics_dir, campaign_id, final, dump_names
+        )
+        telemetry.emit(
+            "campaign_index",
+            path=index_path,
+            registry=registry_path,
+            n_aggregated=aggregator.n_dumps,
+        )
     summary = CampaignSummary(
         n_tasks=len(tasks),
         executed=sum(1 for r in final if not r.from_cache),

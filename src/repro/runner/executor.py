@@ -47,6 +47,30 @@ from .telemetry import TelemetryWriter
 #: histograms — which are never truncated — carry the totals.
 CAMPAIGN_TRACE_EVENTS = 2_000
 
+#: Live-observability stream (a multiprocessing queue), inherited by
+#: forked workers.  Set by :func:`set_live_queue` in the parent before
+#: the pool is built; workers push progress events and end-of-task
+#: metric deltas onto it for the in-parent aggregator thread.  Strictly
+#: write-only from the task's perspective: pushing happens after the
+#: result is computed, so a streamed run is byte-identical to a silent
+#: one.
+_LIVE_QUEUE = None
+
+
+def set_live_queue(queue) -> None:
+    """Install (or clear, with ``None``) the live stream for workers."""
+    global _LIVE_QUEUE
+    _LIVE_QUEUE = queue
+
+
+def _live_put(payload: dict) -> None:
+    if _LIVE_QUEUE is None:
+        return
+    try:
+        _LIVE_QUEUE.put(payload)
+    except Exception:  # noqa: BLE001 - the live plane must never break a task
+        pass
+
 
 @dataclasses.dataclass(frozen=True)
 class _WorkerReply:
@@ -60,6 +84,9 @@ class _WorkerReply:
 
 def _execute_in_worker(spec: TaskSpec, collect_obs: bool = False) -> _WorkerReply:
     """Module-level so it pickles by reference into worker processes."""
+    _live_put(
+        {"kind": "task_running", "task": spec.task_id, "pid": os.getpid()}
+    )
     started = time.perf_counter()
     metrics = None
     if collect_obs:
@@ -68,9 +95,24 @@ def _execute_in_worker(spec: TaskSpec, collect_obs: bool = False) -> _WorkerRepl
         with _collect_obs(max_trace_events=CAMPAIGN_TRACE_EVENTS) as collector:
             result = spec.execute()
         metrics = collector.merged_dump()
+        # The mergeable registry form rides along with the dump: it is
+        # what repro.obs.fleet folds into the campaign-level registry.
+        metrics["registry"] = collector.fleet_dump(source=spec.task_id)
+        metrics["task_id"] = spec.task_id
     else:
         result = spec.execute()
-    return _WorkerReply(os.getpid(), time.perf_counter() - started, result, metrics)
+    wall = time.perf_counter() - started
+    if _LIVE_QUEUE is not None:
+        payload = {
+            "kind": "task_metrics",
+            "task": spec.task_id,
+            "pid": os.getpid(),
+            "wall_time_s": round(wall, 6),
+        }
+        if metrics is not None:
+            payload["registry"] = metrics["registry"]
+        _live_put(payload)
+    return _WorkerReply(os.getpid(), wall, result, metrics)
 
 
 @dataclasses.dataclass

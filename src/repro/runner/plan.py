@@ -118,6 +118,23 @@ class TaskSpec:
         return get_experiment(self.experiment).run(**kwargs)
 
 
+def campaign_id_for(tasks: typing.Sequence[TaskSpec]) -> str:
+    """Deterministic campaign correlation id for a set of tasks.
+
+    Derived from the sorted task cache keys, so the same plan content —
+    regardless of task order, worker count, or where it runs — mints
+    the same id.  This is the ``campaign_id`` threaded through
+    telemetry events, per-task metric dumps, chaos verdicts, and QoE
+    results so any artifact joins back to its campaign.
+    """
+    identity = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "tasks": sorted(task.cache_key() for task in tasks),
+    }
+    blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return "c" + hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+
 def experiment_accepts_seed(name: str) -> bool:
     """Whether the registered experiment takes a ``seed`` parameter."""
     return _accepts_param(name, "seed")
@@ -150,6 +167,11 @@ class CampaignPlan:
             if task.experiment not in seen:
                 seen.append(task.experiment)
         return seen
+
+    @property
+    def campaign_id(self) -> str:
+        """Plan-content-derived correlation id (see :func:`campaign_id_for`)."""
+        return campaign_id_for(self.tasks)
 
     @classmethod
     def from_matrix(

@@ -33,17 +33,37 @@ class TelemetryWriter:
     Parent directories of ``path`` are created on open, and ``close()``
     is idempotent; emitting after close raises a clear error rather
     than the file object's opaque ``ValueError``.
+
+    ``context`` fields (e.g. the campaign correlation id) are merged
+    into every record, so any event can be joined back to its campaign.
+    ``flush_every`` batches file flushes (1 = flush each event, the
+    default, so live SSE tailers see events promptly); ``fsync=True``
+    additionally forces the page cache to disk on each flush — for
+    tailers on another machine reading through a network filesystem.
+    Listeners registered via :meth:`add_listener` observe every record
+    as it is emitted; listener errors are swallowed so an observer can
+    never alter the campaign outcome.
     """
 
     def __init__(
         self,
         path: typing.Optional[str] = None,
         clock: typing.Callable[[], float] = time.time,
+        context: typing.Optional[typing.Mapping[str, typing.Any]] = None,
+        flush_every: int = 1,
+        fsync: bool = False,
     ) -> None:
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
         self.path = path
         self.events: typing.List[dict] = []
+        self.context: typing.Dict[str, typing.Any] = dict(context or {})
+        self.flush_every = flush_every
+        self.fsync = fsync
         self._clock = clock
         self._closed = False
+        self._unflushed = 0
+        self._listeners: typing.List[typing.Callable[[dict], None]] = []
         if path:
             parent = os.path.dirname(os.path.abspath(path))
             os.makedirs(parent, exist_ok=True)
@@ -51,18 +71,43 @@ class TelemetryWriter:
         else:
             self._handle = None
 
+    def add_listener(self, listener: typing.Callable[[dict], None]) -> None:
+        """Observe every emitted record (read-only; errors swallowed).
+
+        Idempotent: re-adding the same listener (e.g. a writer shared
+        across nested campaigns under one live server) is a no-op.
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
     def emit(self, event: str, **fields) -> dict:
         if self._closed:
             raise RuntimeError(
                 f"cannot emit {event!r}: this TelemetryWriter is closed"
             )
         record = {"ts": round(self._clock(), 6), "event": event}
+        record.update(self.context)
         record.update(fields)
         self.events.append(record)
         if self._handle is not None:
             self._handle.write(json.dumps(record, sort_keys=False) + "\n")
-            self._handle.flush()
+            self._unflushed += 1
+            if self._unflushed >= self.flush_every:
+                self._flush()
+        for listener in self._listeners:
+            try:
+                listener(record)
+            except Exception:  # noqa: BLE001 - observers must not break runs
+                pass
         return record
+
+    def _flush(self) -> None:
+        if self._handle is None:
+            return
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self._unflushed = 0
 
     def count(self, event: str) -> int:
         return sum(1 for record in self.events if record["event"] == event)
@@ -73,6 +118,7 @@ class TelemetryWriter:
     def close(self) -> None:
         self._closed = True
         if self._handle is not None:
+            self._flush()
             self._handle.close()
             self._handle = None
 

@@ -1,0 +1,159 @@
+"""The HTML campaign report: joining telemetry, index, and metrics.
+
+Stub experiments live at module level so worker processes can unpickle
+them by reference.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.measure.experiment import register_experiment, unregister_experiment
+from repro.obs.report import build_campaign_report, write_campaign_report
+from repro.runner import CampaignPlan, TelemetryWriter, run_campaign
+from repro.simcore import Simulator
+
+
+def report_sim_stub(seed=0):
+    sim = Simulator(seed=seed)
+    for index in range(4):
+        sim.schedule(0.25 * (index + 1), lambda: None)
+    sim.run()
+    return sim.now
+
+
+@pytest.fixture(autouse=True)
+def _register_stub():
+    register_experiment(
+        "report-tiny", report_sim_stub, artifact="test", replace=True
+    )
+    yield
+    unregister_experiment("report-tiny")
+
+
+@pytest.fixture
+def campaign_artifacts(tmp_path):
+    telemetry = str(tmp_path / "events.jsonl")
+    metrics_dir = str(tmp_path / "metrics")
+    plan = CampaignPlan.from_matrix(["report-tiny"], seeds=range(2))
+    campaign = run_campaign(
+        plan,
+        parallel=False,
+        cache_dir=None,
+        telemetry_path=telemetry,
+        metrics_dir=metrics_dir,
+    )
+    assert campaign.ok
+    return plan, telemetry, metrics_dir
+
+
+def test_report_joins_all_sources(campaign_artifacts):
+    plan, telemetry, metrics_dir = campaign_artifacts
+    html = build_campaign_report(
+        telemetry_path=telemetry, metrics_dir=metrics_dir
+    )
+    assert plan.campaign_id in html
+    assert "Campaign summary" in html
+    assert "Tasks" in html
+    assert "Aggregated metrics" in html
+    # 2 tasks x 4 events each, folded.
+    assert "sim.events_dispatched" in html
+    for task in plan:
+        assert task.task_id in html
+    # One campaign id across both sources: no mismatch warning.
+    assert "multiple campaign ids" not in html
+
+
+def test_report_from_metrics_dir_only(campaign_artifacts):
+    _, _, metrics_dir = campaign_artifacts
+    html = build_campaign_report(metrics_dir=metrics_dir)
+    assert "Aggregated metrics" in html
+    assert "Tasks" in html
+
+
+def test_report_from_telemetry_only(campaign_artifacts):
+    _, telemetry, _ = campaign_artifacts
+    html = build_campaign_report(telemetry_path=telemetry)
+    assert "Campaign summary" in html
+
+
+def test_report_requires_a_source():
+    with pytest.raises(ValueError, match="telemetry path and/or"):
+        build_campaign_report()
+
+
+def test_report_escapes_html(tmp_path):
+    telemetry = str(tmp_path / "t.jsonl")
+    with TelemetryWriter(telemetry) as writer:
+        writer.emit("task_fail", task="<script>alert(1)</script>", attempts=1,
+                    reason="<b>boom</b>")
+    html = build_campaign_report(
+        telemetry_path=telemetry, title="<script>title</script>"
+    )
+    assert "<script>" not in html
+    assert "&lt;script&gt;" in html
+
+
+def test_report_renders_chaos_and_qoe_panels(tmp_path):
+    telemetry = str(tmp_path / "t.jsonl")
+    with TelemetryWriter(telemetry, context={"campaign_id": "cfeedface0000"}) as writer:
+        writer.emit(
+            "chaos_verdict",
+            task="chaos@s0#aaaa",
+            scenario="link-flap",
+            platform="vrchat",
+            intensity="mild",
+            seed=0,
+            passed=True,
+            recovered=True,
+            recovery_time_s=4.5,
+            session_survival_rate=1.0,
+        )
+        writer.emit(
+            "qoe_cell",
+            task="qoe-score@s0#bbbb",
+            platform="worlds",
+            seed=0,
+            scenario=None,
+            mean_score=4.1,
+            worst_score=3.2,
+            below_threshold_user_s=0.0,
+        )
+    html = build_campaign_report(telemetry_path=telemetry)
+    assert "Chaos verdicts" in html
+    assert "link-flap" in html
+    assert "QoE cells" in html
+    assert "4.10" in html
+    assert "cfeedface0000" in html
+
+
+def test_write_campaign_report_and_cli(campaign_artifacts, tmp_path, capsys):
+    _, telemetry, metrics_dir = campaign_artifacts
+    out = str(tmp_path / "nested" / "report.html")
+    path = write_campaign_report(
+        out, telemetry_path=telemetry, metrics_dir=metrics_dir
+    )
+    assert os.path.exists(path)
+
+    cli_out = str(tmp_path / "cli.html")
+    status = main(
+        [
+            "report",
+            "--html", cli_out,
+            "--telemetry", telemetry,
+            "--metrics-dir", metrics_dir,
+            "--title", "smoke",
+        ]
+    )
+    assert status == 0
+    assert "campaign report written" in capsys.readouterr().out
+    with open(cli_out) as handle:
+        assert "<title>smoke</title>" in handle.read()
+
+
+def test_cli_html_without_sources_errors(tmp_path, capsys):
+    status = main(["report", "--html", str(tmp_path / "r.html")])
+    assert status == 2
+    assert "needs --telemetry" in capsys.readouterr().err

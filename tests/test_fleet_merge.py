@@ -1,0 +1,202 @@
+"""Property-style tests for repro.obs.fleet: the deterministic fold.
+
+The load-bearing guarantee: folding K worker registry dumps yields a
+byte-identical aggregate for *any* partition of the dumps and *any*
+fold order — which is what makes ``campaign_registry.json`` comparable
+across worker counts.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.obs.fleet import (
+    FleetAggregator,
+    is_deterministic_metric,
+    registry_fleet_dump,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _make_registry(seed: int) -> MetricsRegistry:
+    """A registry with pseudo-random but reproducible contents."""
+    rng = random.Random(seed)
+    registry = MetricsRegistry()
+    for name in ("net.bytes", "sim.events", "app.frames"):
+        for channel in ("voice", "avatar"):
+            counter = registry.counter(name, channel=channel)
+            counter.inc(rng.randint(1, 50) * 0.125)
+    gauge = registry.gauge("room.occupancy", room="lobby")
+    for _ in range(rng.randint(1, 4)):
+        gauge.set(rng.randint(0, 30))
+    hist = registry.histogram("net.rtt_ms", buckets=(1.0, 5.0, 25.0))
+    for _ in range(rng.randint(3, 12)):
+        hist.observe(rng.random() * 30.0)
+    # A wall-clock metric: must be excluded from the canonical form.
+    registry.histogram("sim.callback_wall_s", buckets=(0.001, 0.1)).observe(
+        rng.random()
+    )
+    return registry
+
+
+def _dumps(n: int):
+    return [
+        registry_fleet_dump(_make_registry(seed), source=f"task-{seed}")
+        for seed in range(n)
+    ]
+
+
+def _flat_fold(dumps) -> bytes:
+    aggregator = FleetAggregator()
+    for dump in dumps:
+        aggregator.add_dump(dump)
+    return aggregator.canonical_bytes()
+
+
+def test_fold_is_order_invariant():
+    dumps = _dumps(6)
+    expected = _flat_fold(dumps)
+    rng = random.Random(42)
+    for _ in range(5):
+        shuffled = list(dumps)
+        rng.shuffle(shuffled)
+        assert _flat_fold(shuffled) == expected
+
+
+def test_fold_is_partition_invariant():
+    """Folding per-worker sub-aggregates equals folding everything flat
+    — for several partition shapes (1, 2, 3, 6 'workers')."""
+    dumps = _dumps(6)
+    expected = _flat_fold(dumps)
+    for n_workers in (1, 2, 3, 6):
+        partitions = [dumps[i::n_workers] for i in range(n_workers)]
+        top = FleetAggregator()
+        for part in partitions:
+            sub = FleetAggregator()
+            for dump in part:
+                sub.add_dump(dump)
+            top.add_dump(sub.dump())
+        assert top.canonical_bytes() == expected, f"{n_workers} workers"
+
+
+def test_fold_survives_json_round_trip():
+    """Serialized dumps (as written to disk) fold to the same bytes as
+    in-memory ones — the frac pairs carry the exactness."""
+    dumps = _dumps(4)
+    round_tripped = [json.loads(json.dumps(dump)) for dump in dumps]
+    assert _flat_fold(round_tripped) == _flat_fold(dumps)
+
+
+def test_counter_sum_is_exact_despite_float_order():
+    """0.1-style values whose float sum is order-dependent still fold
+    identically, because accumulation is rational."""
+    registries = []
+    for index in range(8):
+        registry = MetricsRegistry()
+        registry.counter("acc").inc(0.1 * (index + 1))
+        registries.append(registry_fleet_dump(registry, source=str(index)))
+    forward = _flat_fold(registries)
+    backward = _flat_fold(list(reversed(registries)))
+    assert forward == backward
+
+
+def test_gauge_last_writer_total_order():
+    """Higher seq wins; equal seq tie-breaks on source — associatively."""
+    def gauge_dump(value, seq, source):
+        return {
+            "schema": 1,
+            "gauges": [
+                {"name": "g", "labels": [], "value": value, "seq": seq,
+                 "source": source}
+            ],
+        }
+
+    low = gauge_dump(1.0, 3, "task-a")
+    high = gauge_dump(2.0, 7, "task-b")
+    tie = gauge_dump(9.0, 7, "task-z")
+
+    for order in ([low, high, tie], [tie, low, high], [high, tie, low]):
+        aggregator = FleetAggregator()
+        for dump in order:
+            aggregator.add_dump(dump)
+        merged = aggregator.dump()["gauges"][0]
+        # seq 7 beats 3; within seq 7, source 'task-z' > 'task-b'.
+        assert merged["value"] == 9.0
+        assert merged["source"] == "task-z"
+
+
+def test_gauge_seq_advances_per_write():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("g")
+    assert gauge.seq == 0
+    gauge.set(1.0)
+    gauge.set(2.0)
+    assert gauge.seq == 2
+
+
+def test_histogram_bucket_merge():
+    first = MetricsRegistry()
+    second = MetricsRegistry()
+    for value in (0.5, 3.0):
+        first.histogram("h", buckets=(1.0, 5.0)).observe(value)
+    for value in (0.7, 10.0):
+        second.histogram("h", buckets=(1.0, 5.0)).observe(value)
+    aggregator = FleetAggregator()
+    aggregator.add_registry(first, source="a")
+    aggregator.add_registry(second, source="b")
+    merged = aggregator.dump()["histograms"][0]
+    assert merged["count"] == 4
+    assert merged["bucket_counts"] == [2, 1, 1]
+    assert merged["min"] == 0.5
+    assert merged["max"] == 10.0
+    assert merged["sum"] == pytest.approx(0.5 + 3.0 + 0.7 + 10.0)
+
+
+def test_histogram_bounds_mismatch_raises():
+    first = MetricsRegistry()
+    second = MetricsRegistry()
+    first.histogram("h", buckets=(1.0, 5.0)).observe(0.5)
+    second.histogram("h", buckets=(2.0, 4.0)).observe(0.5)
+    aggregator = FleetAggregator()
+    aggregator.add_registry(first)
+    with pytest.raises(ValueError, match="bucket bounds differ"):
+        aggregator.add_registry(second)
+
+
+def test_empty_histogram_merges_without_extremes():
+    registry = MetricsRegistry()
+    registry.histogram("h", buckets=(1.0,))  # never observed
+    aggregator = FleetAggregator()
+    aggregator.add_registry(registry)
+    merged = aggregator.dump()["histograms"][0]
+    assert merged["count"] == 0
+    assert merged["min"] is None and merged["max"] is None
+
+
+def test_wall_clock_metrics_excluded_from_canonical():
+    assert not is_deterministic_metric("sim.callback_wall_s")
+    assert is_deterministic_metric("net.bytes")
+    dumps = _dumps(2)
+    aggregator = FleetAggregator()
+    for dump in dumps:
+        aggregator.add_dump(dump)
+    canonical = json.loads(aggregator.canonical_bytes())
+    names = {h["name"] for h in canonical["histograms"]}
+    assert "sim.callback_wall_s" not in names
+    full = aggregator.dump(deterministic_only=False)
+    assert "sim.callback_wall_s" in {h["name"] for h in full["histograms"]}
+
+
+def test_merged_registry_round_trips_through_exporters():
+    """The materialized registry drives to_prometheus without loss."""
+    from repro.obs.export import to_prometheus
+
+    dumps = _dumps(3)
+    aggregator = FleetAggregator()
+    for dump in dumps:
+        aggregator.add_dump(dump)
+    text = to_prometheus(aggregator.merged_registry())
+    assert "net_bytes_total" in text
+    assert "room_occupancy" in text
+    assert "net_rtt_ms_bucket" in text

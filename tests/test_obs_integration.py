@@ -321,14 +321,26 @@ def test_campaign_metrics_dir_writes_per_task_dumps(_register_tiny, tmp_path):
     )
     assert campaign.ok
     files = sorted(os.listdir(metrics_dir))
-    assert len(files) == 2
-    for result, filename in zip(campaign, files):
+    dumps = [f for f in files if f not in ("index.json", "campaign_registry.json")]
+    assert len(dumps) == 2
+    assert "index.json" in files and "campaign_registry.json" in files
+    for result, filename in zip(campaign, dumps):
         assert result.metrics is not None
         with open(os.path.join(metrics_dir, filename)) as handle:
             dump = json.load(handle)
         counters = {c["name"]: c["value"] for c in dump["metrics"]["counters"]}
         assert counters["sim.events_dispatched"] == 10
+        assert dump["task_id"] == result.spec.task_id
+        assert dump["registry"]["schema"] == 1
+    with open(os.path.join(metrics_dir, "index.json")) as handle:
+        index = json.load(handle)
+    assert set(index["tasks"]) == {r.spec.task_id for r in campaign}
+    for entry in index["tasks"].values():
+        assert entry["dump"] in dumps
+        assert entry["status"] == "ok"
     assert campaign.events[-1]["event"] == "campaign_end"
+    assert all("campaign_id" in e for e in campaign.events)
+    assert campaign.events[-1]["campaign_id"] == index["campaign_id"]
     task_metrics = [e for e in campaign.events if e["event"] == "task_metrics"]
     assert len(task_metrics) == 2
     assert task_metrics[0]["n_counters"] >= 1

@@ -322,7 +322,17 @@ def test_qoe_results_are_byte_identical_across_runs_and_shard_counts():
     assert [pickle.dumps(r) for r in serial.results] == [
         pickle.dumps(r) for r in sharded.results
     ]
-    assert pickle.dumps(second) == pickle.dumps(serial.results[1])
+    # Campaign results additionally carry plan-derived correlation ids;
+    # strip them to compare cell content with the standalone run.
+    import dataclasses
+
+    unstamped = dataclasses.replace(
+        serial.results[1], campaign_id="", task_id=""
+    )
+    assert pickle.dumps(second) == pickle.dumps(unstamped)
+    assert serial.results[1].campaign_id.startswith("c")
+    assert serial.results[1].task_id
+    assert serial.results[1].campaign_id == sharded.results[1].campaign_id
 
 
 # ---------------------------------------------------------------- cohort

@@ -41,3 +41,60 @@ def test_memory_only_writer_needs_no_path():
     telemetry.emit("a", x=1)
     assert telemetry.count("a") == 1
     assert telemetry.select("a")[0]["x"] == 1
+
+
+def test_context_is_merged_into_every_record(tmp_path):
+    path = tmp_path / "t.jsonl"
+    with TelemetryWriter(str(path), context={"campaign_id": "c123"}) as telemetry:
+        telemetry.emit("a")
+        telemetry.emit("b", x=1)
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert all(line["campaign_id"] == "c123" for line in lines)
+    # Explicit fields win over context.
+    telemetry = TelemetryWriter(context={"campaign_id": "c123"})
+    record = telemetry.emit("c", campaign_id="override")
+    assert record["campaign_id"] == "override"
+
+
+def test_flush_every_batches_file_flushes(tmp_path):
+    path = tmp_path / "t.jsonl"
+    telemetry = TelemetryWriter(str(path), flush_every=3)
+    telemetry.emit("one")
+    telemetry.emit("two")
+    # Not yet flushed: a second reader sees nothing.
+    assert path.read_text() == ""
+    telemetry.emit("three")
+    assert len(path.read_text().splitlines()) == 3
+    telemetry.emit("four")
+    telemetry.close()  # close flushes the tail
+    assert len(path.read_text().splitlines()) == 4
+
+
+def test_flush_every_must_be_positive(tmp_path):
+    with pytest.raises(ValueError, match="flush_every"):
+        TelemetryWriter(str(tmp_path / "t.jsonl"), flush_every=0)
+
+
+def test_fsync_knob_accepted(tmp_path):
+    path = tmp_path / "t.jsonl"
+    with TelemetryWriter(str(path), fsync=True) as telemetry:
+        telemetry.emit("durable")
+    assert json.loads(path.read_text())["event"] == "durable"
+
+
+def test_listeners_observe_records_and_cannot_break_emit():
+    seen = []
+    telemetry = TelemetryWriter()
+
+    def good(record):
+        seen.append(record["event"])
+
+    def bad(record):
+        raise RuntimeError("observer bug")
+
+    telemetry.add_listener(bad)
+    telemetry.add_listener(good)
+    telemetry.add_listener(good)  # idempotent: registered once
+    telemetry.emit("a")
+    telemetry.emit("b")
+    assert seen == ["a", "b"]
