@@ -14,6 +14,11 @@ Usage::
         --platforms vrchat worlds --seeds 3
     python -m repro trace throughput --seed 3 --output trace.jsonl
     python -m repro table3 --metrics-out table3-metrics.json
+    python -m repro serve --spool .repro-serve --port 8791 --workers 2
+    python -m repro submit --url http://localhost:8791 \\
+        --experiments throughput --seeds 2 --wait
+    python -m repro status --url http://localhost:8791
+    python -m repro artifacts --url http://localhost:8791 JOB --fetch out/
 
 Any subcommand accepts ``--metrics-out PATH`` to additionally write the
 run's observability dump (metric registry + packet/span traces) as
@@ -451,6 +456,131 @@ def _build_parser() -> argparse.ArgumentParser:
     export.add_argument("--output", required=True)
     export.set_defaults(handler=_cmd_export_pcap)
 
+    serve = add_parser(
+        "serve",
+        help="run the simulation-as-a-service daemon (docs/SERVE.md)",
+    )
+    serve.add_argument(
+        "--spool",
+        default=".repro-serve",
+        metavar="DIR",
+        help="state directory: job queue, artifact store, result CAS",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8791)
+    serve.add_argument(
+        "--workers", type=int, default=1, help="in-process worker threads"
+    )
+    serve.add_argument(
+        "--token",
+        action="append",
+        default=[],
+        metavar="TENANT=SECRET",
+        help="tenant API token (repeatable); omit for a single open "
+        "'public' tenant",
+    )
+    serve.add_argument(
+        "--lease-s",
+        type=float,
+        default=30.0,
+        help="job lease seconds; a dead worker's job is re-leased after this",
+    )
+    serve.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="LRU-evict the shared result CAS down to this footprint",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    worker = add_parser(
+        "worker",
+        help="join a serve spool's worker fleet from this process",
+    )
+    worker.add_argument("--spool", default=".repro-serve", metavar="DIR")
+    worker.add_argument(
+        "--max-jobs", type=int, default=None, help="exit after N jobs"
+    )
+    worker.add_argument("--lease-s", type=float, default=30.0)
+    worker.set_defaults(handler=_cmd_worker)
+
+    client_common = argparse.ArgumentParser(add_help=False)
+    client_common.add_argument(
+        "--url",
+        default="http://127.0.0.1:8791",
+        help="serve daemon endpoint (default %(default)s)",
+    )
+    client_common.add_argument(
+        "--token", default=None, help="tenant API token, if the daemon requires one"
+    )
+    client_common.add_argument(
+        "--json", action="store_true", help="print raw JSON instead of tables"
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        parents=[client_common],
+        help="submit a campaign spec to a serve daemon",
+    )
+    submit.add_argument(
+        "--experiments", nargs="+", default=None, help="registry names"
+    )
+    submit.add_argument(
+        "--seeds", default="1", help="seed count N or A:B half-open range"
+    )
+    submit.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE[,VALUE...]",
+        help="grid axis (same vocabulary as 'campaign')",
+    )
+    submit.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="submit this JSON spec file instead of building one from flags",
+    )
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--timeout", type=float, default=None, metavar="SECONDS")
+    submit.add_argument("--retries", type=int, default=2)
+    submit.add_argument(
+        "--serial", action="store_true", help="ask the worker to run in-process"
+    )
+    submit.add_argument(
+        "--collect-obs",
+        action="store_true",
+        help="keep per-task observability dumps as job artifacts",
+    )
+    submit.add_argument(
+        "--wait", action="store_true", help="block until the job is terminal"
+    )
+    submit.set_defaults(handler=_cmd_submit)
+
+    status = sub.add_parser(
+        "status",
+        parents=[client_common],
+        help="list a serve daemon's jobs, or inspect one",
+    )
+    status.add_argument("job", nargs="?", default=None, help="a job id")
+    status.add_argument("--state", default=None, help="filter the listing")
+    status.set_defaults(handler=_cmd_status)
+
+    artifacts = sub.add_parser(
+        "artifacts",
+        parents=[client_common],
+        help="list or download a job's artifacts",
+    )
+    artifacts.add_argument("job", help="a job id")
+    artifacts.add_argument(
+        "--fetch",
+        default=None,
+        metavar="DIR",
+        help="download every artifact into DIR",
+    )
+    artifacts.set_defaults(handler=_cmd_artifacts)
+
     return parser
 
 
@@ -745,14 +875,23 @@ def _maybe_live(args):
 
     @contextlib.contextmanager
     def _serving():
-        from .obs.live import live_server
+        from .obs.live import LivePortBusyError, live_server
 
-        with live_server(port=port) as server:
-            print(
-                f"[live observability at {server.url} — "
-                f"/metrics /progress /events]"
-            )
-            yield server
+        try:
+            context = live_server(port=port)
+            with context as server:
+                if port == 0:
+                    print(f"[--live-port 0 picked free port {server.port}]")
+                print(
+                    f"[live observability at {server.url} — "
+                    f"/metrics /progress /events]"
+                )
+                yield server
+        except LivePortBusyError as exc:
+            # Fail before any campaign work starts: a busy port should
+            # be a one-line fix, not a mid-run stack trace.
+            print(f"error: {exc}", file=sys.stderr)
+            raise SystemExit(2) from None
 
     return _serving()
 
@@ -771,8 +910,8 @@ def _cmd_campaign(args) -> int:
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
-    print(f"Running {plan.describe()}...")
     with _maybe_live(args):
+        print(f"Running {plan.describe()}...")
         campaign = run_campaign(
             plan,
             parallel=not args.serial,
@@ -1225,6 +1364,211 @@ def _cmd_export_pcap(args) -> int:
     testbed.run(until=end)
     count = export_sniffer(testbed.u1.sniffer, args.output)
     print(f"wrote {count} packets to {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Serve control plane (docs/SERVE.md)
+# ----------------------------------------------------------------------
+def _parse_tokens(items: typing.Sequence[str]) -> dict:
+    """``TENANT=SECRET`` flags into the api's ``{secret: tenant}`` map."""
+    tokens = {}
+    for item in items:
+        tenant, sep, secret = item.partition("=")
+        if not sep or not tenant or not secret:
+            print(f"--token expects TENANT=SECRET, got {item!r}", file=sys.stderr)
+            raise SystemExit(2)
+        tokens[secret] = tenant
+    return tokens
+
+
+def _cmd_serve(args) -> int:
+    import time
+
+    from .serve import ServeDaemon
+
+    max_cache_bytes = (
+        int(args.cache_max_mb * 1024 * 1024) if args.cache_max_mb else None
+    )
+    try:
+        daemon = ServeDaemon(
+            args.spool,
+            host=args.host,
+            port=args.port,
+            n_workers=args.workers,
+            tokens=_parse_tokens(args.token),
+            lease_s=args.lease_s,
+            max_cache_bytes=max_cache_bytes,
+        )
+    except OSError as exc:
+        print(
+            f"error: cannot bind serve API to {args.host}:{args.port} "
+            f"({exc.strerror or exc}); pick a different --port",
+            file=sys.stderr,
+        )
+        return 2
+    daemon.start()
+    tenants = sorted(set(daemon.tokens.values())) or ["public (no auth)"]
+    print(f"[repro serve at {daemon.url} — spool {args.spool}]")
+    print(
+        f"[{args.workers} worker(s), lease {args.lease_s:.0f}s, "
+        f"tenants: {', '.join(tenants)}; "
+        f"{daemon.recovered_jobs} job(s) recovered from a previous run]"
+    )
+    print("[endpoints: /healthz /v1/jobs /v1/experiments — Ctrl-C to stop]")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\n[shutting down]")
+    finally:
+        daemon.close()
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from .serve.worker import worker_main
+
+    print(f"[repro worker joining spool {args.spool}]")
+    done = worker_main(args.spool, max_jobs=args.max_jobs, lease_s=args.lease_s)
+    print(f"[worker exit after {done} job(s)]")
+    return 0
+
+
+def _serve_client(args):
+    from .serve import ServeClient
+
+    return ServeClient(args.url, token=args.token)
+
+
+def _print_job(job: dict, as_json: bool) -> None:
+    import json
+
+    if as_json:
+        print(json.dumps(job, sort_keys=True, indent=1))
+        return
+    summary = job.get("summary") or {}
+    rows = [
+        ["job", job["id"]],
+        ["state", job["state"]],
+        ["tenant", job["tenant"]],
+        ["campaign", job["campaign_id"]],
+        ["tasks", job["n_tasks"]],
+        ["attempts", job["attempts"]],
+        ["cache hits", summary.get("cache_hits", "-")],
+        ["executed", summary.get("executed", "-")],
+        ["artifacts", len(job.get("artifacts", []))],
+    ]
+    if job.get("error"):
+        rows.append(["error", job["error"]])
+    print(render_table(["Field", "Value"], rows))
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from .serve import ServeApiError
+
+    if args.spec:
+        with open(args.spec) as handle:
+            spec = json.load(handle)
+    else:
+        if not args.experiments:
+            print("submit needs --experiments or --spec FILE", file=sys.stderr)
+            return 2
+        spec = {
+            "experiments": list(args.experiments),
+            "seeds": args.seeds,
+            "grid": _parse_grid(args.param),
+            "priority": args.priority,
+            "max_retries": args.retries,
+            "parallel": not args.serial,
+            "collect_obs": args.collect_obs,
+        }
+        if args.timeout is not None:
+            spec["timeout_s"] = args.timeout
+    client = _serve_client(args)
+    try:
+        job = client.submit(spec)
+        if args.wait:
+            job = client.wait(job["id"])
+    except ServeApiError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        for detail in (exc.body or {}).get("errors", []) if isinstance(exc.body, dict) else []:
+            print(f"  - {detail}", file=sys.stderr)
+        return 2
+    _print_job(job, args.json)
+    if job["state"] in ("failed", "cancelled"):
+        return 1
+    return 0
+
+
+def _cmd_status(args) -> int:
+    import json
+
+    from .serve import ServeApiError
+
+    client = _serve_client(args)
+    try:
+        if args.job:
+            _print_job(client.job(args.job), args.json)
+            return 0
+        jobs = client.jobs(state=args.state)
+    except ServeApiError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(jobs, sort_keys=True, indent=1))
+        return 0
+    rows = [
+        [
+            job["id"],
+            job["state"],
+            job["tenant"],
+            job["n_tasks"],
+            (job.get("summary") or {}).get("cache_hits", "-"),
+            job["attempts"],
+            job["campaign_id"][:8],
+        ]
+        for job in jobs
+    ]
+    print(
+        render_table(
+            ["Job", "State", "Tenant", "Tasks", "Cache hits", "Attempts", "Campaign"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_artifacts(args) -> int:
+    import json
+    import os
+
+    from .serve import ServeApiError
+
+    client = _serve_client(args)
+    try:
+        listing = client.artifacts(args.job)
+        if args.fetch:
+            for name in listing["artifacts"]:
+                blob = client.fetch_artifact(args.job, name)
+                path = os.path.join(args.fetch, name)
+                os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+                with open(path, "wb") as handle:
+                    handle.write(blob)
+    except ServeApiError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(listing, sort_keys=True, indent=1))
+    else:
+        for name in listing["artifacts"]:
+            print(name)
+        print(f"\n{len(listing['artifacts'])} artifact(s), "
+              f"{len(listing['cas'])} CAS task payload(s)")
+    if args.fetch:
+        print(f"[fetched into {args.fetch}/]")
     return 0
 
 

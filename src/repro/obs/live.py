@@ -44,6 +44,15 @@ _ACTIVE_SERVER: typing.Optional["LiveObsServer"] = None
 _TERMINAL_TASK_EVENTS = ("task_end", "task_fail", "task_retry")
 
 
+class LivePortBusyError(OSError):
+    """The requested live-observability port could not be bound.
+
+    Raised *before* any campaign work starts, so a mistyped or already
+    occupied ``--live-port`` fails fast with an actionable message
+    instead of surfacing as an opaque ``OSError`` mid-run.
+    """
+
+
 def active_live_server() -> typing.Optional["LiveObsServer"]:
     """The live server the current campaign should feed, if any."""
     return _ACTIVE_SERVER
@@ -102,7 +111,14 @@ class LiveObsServer:
         self._drain_thread: typing.Optional[threading.Thread] = None
 
         handler = _make_handler(self)
-        self._httpd = ThreadingHTTPServer((host, port), handler)
+        try:
+            self._httpd = ThreadingHTTPServer((host, port), handler)
+        except OSError as exc:
+            raise LivePortBusyError(
+                f"cannot serve live observability on {host}:{port} "
+                f"({exc.strerror or exc}); pick a different port, or use "
+                f"port 0 to let the OS choose a free one"
+            ) from exc
         self._httpd.daemon_threads = True
         self.host = host
         self.port = self._httpd.server_address[1]

@@ -8,6 +8,11 @@ resolves to the same file forever and a changed parameter misses
 cleanly.  Entries are a pickle payload plus a small JSON sidecar with
 provenance (task identity, store time, wall time of the original run)
 so the cache directory is inspectable without unpickling anything.
+
+With ``max_bytes`` set the cache is additionally a bounded LRU: every
+hit touches the entry's mtime, and after each store the oldest entries
+(by mtime) are evicted until the directory fits the cap again — the
+footprint guarantee the :mod:`repro.serve` artifact store relies on.
 """
 
 from __future__ import annotations
@@ -30,13 +35,27 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0
 
 
 class ResultCache:
-    """Directory of ``<digest>.pkl`` results keyed by task identity."""
+    """Directory of ``<digest>.pkl`` results keyed by task identity.
 
-    def __init__(self, root: typing.Union[str, os.PathLike]) -> None:
+    ``max_bytes`` bounds the on-disk footprint: when set, every
+    :meth:`put` enforces the cap by evicting least-recently-used
+    entries (hits refresh recency via mtime).  ``None`` (the default)
+    keeps the historical unbounded behaviour.
+    """
+
+    def __init__(
+        self,
+        root: typing.Union[str, os.PathLike],
+        max_bytes: typing.Optional[int] = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be a positive byte count or None")
         self.root = os.fspath(root)
+        self.max_bytes = max_bytes
         os.makedirs(self.root, exist_ok=True)
         self.stats = CacheStats()
 
@@ -94,19 +113,31 @@ class ResultCache:
         with open(self.meta_path_for(task), "w") as handle:
             json.dump(meta, handle, sort_keys=True)
         self.stats.stores += 1
+        if self.max_bytes is not None:
+            self.evict()
         return path
 
     def _load(self, task: TaskSpec) -> typing.Any:
         path = self.path_for(task)
         try:
             with open(path, "rb") as handle:
-                return pickle.load(handle)
+                value = pickle.load(handle)
         except FileNotFoundError:
             return _MISS
         except Exception:
             # A torn or unreadable entry is a miss, not an error — the
             # task simply re-executes and overwrites it.
             return _MISS
+        self._touch(path)
+        return value
+
+    @staticmethod
+    def _touch(path: str) -> None:
+        """Refresh an entry's mtime so eviction sees it as recent."""
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - entry raced away
+            pass
 
     def invalidate(self, task: TaskSpec) -> bool:
         removed = False
@@ -123,3 +154,52 @@ class ResultCache:
         for _, _, files in os.walk(self.root):
             count += sum(1 for f in files if f.endswith(".pkl"))
         return count
+
+    # -- size-capped eviction ------------------------------------------
+    def _entries(self) -> typing.List[typing.Tuple[float, int, str]]:
+        """``(mtime, bytes, pkl_path)`` per entry; bytes include the
+        JSON sidecar so the cap bounds the whole directory."""
+        entries = []
+        for dirpath, _, files in os.walk(self.root):
+            for name in files:
+                if not name.endswith(".pkl"):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:  # entry raced away
+                    continue
+                size = stat.st_size
+                try:
+                    size += os.stat(path[: -len(".pkl")] + ".json").st_size
+                except OSError:
+                    pass
+                entries.append((stat.st_mtime, size, path))
+        return entries
+
+    def total_bytes(self) -> int:
+        """Current on-disk footprint (payloads + sidecars)."""
+        return sum(size for _, size, _ in self._entries())
+
+    def evict(self, max_bytes: typing.Optional[int] = None) -> int:
+        """Drop least-recently-used entries until the cache fits
+        ``max_bytes`` (default: the configured cap).  Returns the
+        number of entries evicted; a no-op without a cap."""
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        if cap is None:
+            return 0
+        entries = sorted(self._entries())  # oldest mtime first
+        total = sum(size for _, size, _ in entries)
+        evicted = 0
+        for _, size, path in entries:
+            if total <= cap:
+                break
+            for victim in (path, path[: -len(".pkl")] + ".json"):
+                try:
+                    os.remove(victim)
+                except FileNotFoundError:
+                    pass
+            total -= size
+            evicted += 1
+        self.stats.evictions += evicted
+        return evicted

@@ -177,3 +177,76 @@ def test_nested_live_server_restores_previous():
         with live_server(port=0) as inner:
             assert active_live_server() is inner
         assert active_live_server() is outer
+
+
+# ----------------------------------------------------------------------
+# Busy ports fail fast (and port 0 tells you what it picked)
+# ----------------------------------------------------------------------
+def test_busy_port_raises_with_actionable_message():
+    import socket
+
+    from repro.obs.live import LivePortBusyError
+
+    blocker = socket.socket()
+    blocker.bind(("127.0.0.1", 0))
+    blocker.listen(1)
+    busy_port = blocker.getsockname()[1]
+    try:
+        with pytest.raises(LivePortBusyError) as excinfo:
+            LiveObsServer(port=busy_port)
+        message = str(excinfo.value)
+        assert f"127.0.0.1:{busy_port}" in message
+        assert "port 0" in message  # the one-line fix is in the error
+        assert isinstance(excinfo.value, OSError)  # old handlers still work
+    finally:
+        blocker.close()
+
+
+def test_cli_busy_live_port_exits_cleanly(capsys):
+    import socket
+
+    from repro.cli import main
+
+    blocker = socket.socket()
+    blocker.bind(("127.0.0.1", 0))
+    blocker.listen(1)
+    busy_port = blocker.getsockname()[1]
+    try:
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "campaign",
+                    "--experiments", "live-tiny",
+                    "--seeds", "1",
+                    "--serial",
+                    "--no-cache",
+                    "--live-port", str(busy_port),
+                ]
+            )
+        assert excinfo.value.code == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert str(busy_port) in captured.err
+        # Fail-fast: no campaign output before the error.
+        assert "campaign of" not in captured.out
+    finally:
+        blocker.close()
+
+
+def test_cli_live_port_zero_prints_chosen_port(capsys):
+    from repro.cli import main
+
+    code = main(
+        [
+            "campaign",
+            "--experiments", "live-tiny",
+            "--seeds", "1",
+            "--serial",
+            "--no-cache",
+            "--live-port", "0",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "picked free port" in out
+    assert "live observability at http://127.0.0.1:" in out
