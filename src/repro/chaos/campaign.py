@@ -33,8 +33,14 @@ def run_chaos_cell(
     platform: str,
     intensity: str = "mild",
     seed: int = 0,
+    lp_domains: int = 1,
 ) -> ChaosVerdict:
-    """Run one (scenario, platform, intensity, seed) campaign cell."""
+    """Run one (scenario, platform, intensity, seed) campaign cell.
+
+    ``lp_domains > 1`` runs the cell on the space-parallel kernel (see
+    :mod:`repro.simcore.lp`); fault hooks and the QoE snapshotter fence
+    the domains at their firing times, so the verdict is byte-identical
+    to the serial run."""
     spec = get_scenario(scenario)
     spec.params(intensity)  # fail fast on unknown intensity
     # A metrics-only bundle lights up the QoE source counters without
@@ -43,10 +49,12 @@ def run_chaos_cell(
     # instead.  Either way the scores are identical: they derive only
     # from sim-deterministic metric values.
     obs = None if active_collector() is not None else MetricsOnlyObservability()
-    testbed = Testbed(platform, n_users=2, seed=seed, obs=obs)
+    testbed = Testbed(platform, n_users=2, seed=seed, obs=obs, lp_domains=lp_domains)
     testbed.start_all(join_at=JOIN_AT_S)
     probe = QoeProbe(testbed)
     probe.start()
+    # Snapshot ticks read gauges owned by station domains.
+    testbed.add_fence_every(probe.period_s)
     injector = FaultInjector(testbed, spec, intensity)
     fault_at = (
         JOIN_AT_S
@@ -77,12 +85,15 @@ def build_chaos_plan(
     platforms: typing.Optional[typing.Sequence[str]] = None,
     intensities: typing.Optional[typing.Sequence[str]] = None,
     seeds: typing.Iterable[int] = (0,),
+    lp_domains: int = 1,
 ) -> CampaignPlan:
     """Expand the chaos matrix into runner tasks.
 
     Defaults run the full catalog over every platform at every
     intensity.  The ``keep`` filter prunes (scenario, intensity) pairs
-    the catalog does not define, so sparse matrices stay valid.
+    the catalog does not define, so sparse matrices stay valid.  The
+    default ``lp_domains=1`` is omitted from task kwargs, keeping
+    serial task ids (and their caches) unchanged.
     """
     scenario_names = list(scenarios) if scenarios else sorted(SCENARIOS)
     for name in scenario_names:
@@ -96,8 +107,9 @@ def build_chaos_plan(
     def keep(_experiment: str, kwargs: typing.Mapping) -> bool:
         return kwargs["intensity"] in get_scenario(kwargs["scenario"]).intensities
 
+    base = {"lp_domains": lp_domains} if lp_domains != 1 else None
     return CampaignPlan.from_matrix(
-        ["chaos"], grid=grid, seeds=seeds, keep=keep
+        ["chaos"], grid=grid, seeds=seeds, keep=keep, base_kwargs=base
     )
 
 
@@ -133,6 +145,7 @@ def run_chaos_campaign(
     telemetry_path: typing.Optional[str] = None,
     metrics_dir: typing.Optional[str] = None,
     collect_obs: bool = False,
+    lp_domains: int = 1,
 ) -> ChaosCampaignOutcome:
     """Run a chaos matrix through the campaign runner.
 
@@ -141,7 +154,9 @@ def run_chaos_campaign(
     a ``chaos_verdict`` event after the runner's ``campaign_end`` —
     the join point the HTML campaign report uses.
     """
-    plan = build_chaos_plan(scenarios, platforms, intensities, seeds)
+    plan = build_chaos_plan(
+        scenarios, platforms, intensities, seeds, lp_domains=lp_domains
+    )
     with TelemetryWriter(
         telemetry_path, context={"campaign_id": plan.campaign_id}
     ) as telemetry:

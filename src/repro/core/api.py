@@ -84,13 +84,16 @@ class SessionResult:
 
 
 def run_two_user_session(
-    platform: str, duration_s: float = 30.0, seed: int = 0
+    platform: str, duration_s: float = 30.0, seed: int = 0, lp_domains: int = 1
 ) -> SessionResult:
-    """Quickstart: run a two-user session and summarize U1's view."""
+    """Quickstart: run a two-user session and summarize U1's view.
+
+    ``lp_domains > 1`` runs the session on the space-parallel kernel
+    (docs/PARALLEL.md); the summary is byte-identical to serial."""
     from ..capture.sniffer import DOWNLINK, UPLINK
     from ..capture.timeseries import average_kbps
 
-    testbed = Testbed(platform, n_users=2, seed=seed)
+    testbed = Testbed(platform, n_users=2, seed=seed, lp_domains=lp_domains)
     join_at = 2.0
     testbed.start_all(join_at=join_at)
     start = join_at + 10.0 + download_drain_s(testbed.profile)
@@ -193,10 +196,14 @@ def fig7_fig8_user_sweep(
 
 
 def fig9_hubs_large_scale(
-    user_counts: typing.Sequence[int] = (15, 20, 25, 28), seed: int = 0
+    user_counts: typing.Sequence[int] = (15, 20, 25, 28),
+    seed: int = 0,
+    lp_domains: int = 1,
 ) -> typing.List[ScalabilityPoint]:
     """Fig. 9: the 28-user event on the private Hubs server."""
-    return run_hubs_large_scale(user_counts=user_counts, seed=seed)
+    return run_hubs_large_scale(
+        user_counts=user_counts, seed=seed, lp_domains=lp_domains
+    )
 
 
 def fig11_latency_scaling(

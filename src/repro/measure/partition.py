@@ -1,0 +1,126 @@
+"""Partition a :class:`~repro.measure.session.Testbed` into LP domains.
+
+The testbed topology has a natural space-parallel shape:
+
+* **hub domain (0)** — every platform server host, the room registry and
+  deployment state, lightweight peers / fluid crowds (they call server
+  methods directly), and the backbone core routers that serve servers or
+  more than one station domain;
+* **station domains (1..n-1)** — each observed user's cell: device host,
+  access point, the access links between them, their netem qdiscs, the
+  platform client, and the OVR metrics sampler.  Stations are spread
+  round-robin, so any ``lp_domains`` count between 1 and
+  ``len(stations) + 1`` is meaningful (larger values clamp).
+
+A core router is *promoted* into a station domain when every non-core
+node attached to it belongs to that one domain — then the cut moves from
+the AP↔core hop (0.8 ms lookahead) out to the backbone mesh
+(geographic delays, typically 10–40× larger windows).  With a server
+host or a second station domain on the same metro, the core stays in the
+hub and the AP↔core delay bounds the window instead.
+
+Partitioning must happen before any event is scheduled (``Testbed``
+calls it at the end of construction): runtime-created objects — sockets,
+TCP connections, timers, processes — then inherit the right kernel from
+their host automatically, and nothing needs to migrate.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..net.node import Router
+from ..simcore.lp import DomainKernel, ParallelSimulator
+
+
+def partition_testbed(
+    testbed, lp_domains: int, executor: str = "threads"
+) -> typing.Optional[ParallelSimulator]:
+    """Split ``testbed`` into ``lp_domains`` domains; None means serial.
+
+    Returns the :class:`ParallelSimulator` driving the partition, or
+    ``None`` when the request degenerates to a single domain (one user,
+    ``lp_domains=1``) — the caller then runs the serial kernel as-is.
+    """
+    if lp_domains < 1:
+        raise ValueError(f"lp_domains must be >= 1, got {lp_domains}")
+    n_station_domains = min(lp_domains - 1, len(testbed.stations))
+    if n_station_domains < 1:
+        return None
+
+    hub = testbed.sim
+    if hub.pending_events() != 0:
+        raise RuntimeError(
+            "testbed must be partitioned before any event is scheduled"
+        )
+    if hub._ticks is not None and not hub._ticks.quiescent:
+        raise RuntimeError("testbed must be partitioned while ticks are quiescent")
+
+    network = testbed.network
+    assignment = build_assignment(testbed, n_station_domains)
+    plan = network.plan_domains(assignment, n_station_domains + 1)
+    if not plan.cut_links:
+        return None
+
+    kernels: list = [hub]
+    for index in range(1, n_station_domains + 1):
+        kernels.append(
+            DomainKernel(
+                index,
+                name=f"stations-{index}",
+                streams=hub.streams,
+            )
+        )
+    parallel = ParallelSimulator(
+        kernels, plan.lookahead, hub_index=0, executor=executor
+    )
+    parallel.plan = plan
+
+    # Rebind construction-time components into their domain kernels.
+    for name, node in network.nodes.items():
+        domain = assignment[name]
+        if domain:
+            node.sim = kernels[domain]
+    for src_name, dst_name, data in network.graph.edges(data=True):
+        link = data["link"]
+        src_domain = assignment[src_name]
+        if src_domain:
+            link.sim = kernels[src_domain]
+            if link.qdisc is not None:
+                link.qdisc.sim = kernels[src_domain]
+        if src_domain != assignment[dst_name]:
+            link._lp_sink = parallel.envelope_sink(
+                src_domain, assignment[dst_name]
+            )
+    for station in testbed.stations:
+        domain = assignment[station.host.name]
+        if domain:
+            station.client.sim = kernels[domain]
+            station.sampler.sim = kernels[domain]
+
+    # Server-side state mutated from client-domain events goes through
+    # the deferred-op bridge instead of reaching across the boundary.
+    testbed.deployment._lp = parallel
+    return parallel
+
+
+def build_assignment(testbed, n_station_domains: int) -> dict:
+    """Node-name → domain-index map for ``testbed``'s topology."""
+    network = testbed.network
+    assignment = {name: 0 for name in network.nodes}
+    for index, station in enumerate(testbed.stations):
+        domain = 1 + (index % n_station_domains)
+        assignment[station.host.name] = domain
+        assignment[station.ap.name] = domain
+    graph = network.graph
+    for router in testbed.site_routers.values():
+        neighbor_domains = set()
+        for neighbor in graph.successors(router.name):
+            if isinstance(network.nodes[neighbor], Router):
+                continue  # backbone peers don't anchor a core
+            neighbor_domains.add(assignment[neighbor])
+        if len(neighbor_domains) == 1:
+            (domain,) = neighbor_domains
+            if domain:
+                assignment[router.name] = domain
+    return assignment

@@ -7,6 +7,9 @@ durable queue, an in-process worker fleet, and the deduplicating
 artifact store.  Endpoints (all JSON unless noted)::
 
     GET  /healthz                        liveness + queue counts
+    GET  /metrics                        Prometheus rollup folding every
+                                         finished job's campaign
+                                         registry (text exposition)
     GET  /v1/experiments                 the experiment registry
     POST /v1/jobs                        submit a campaign spec
     GET  /v1/jobs[?state=&limit=]        list this tenant's jobs
@@ -164,6 +167,42 @@ class ServeDaemon:
             view["artifacts"] = self.store.list_artifacts(job.tenant, job.id)
         return view
 
+    def fleet_metrics(self, tenant: str) -> typing.Tuple[str, int]:
+        """Cross-job Prometheus rollup for one tenant's finished jobs.
+
+        Folds every job's ``metrics/campaign_registry.json`` artifact
+        (written by workers running with ``collect_obs``) through a
+        :class:`~repro.obs.fleet.FleetAggregator`.  The fold is
+        associative/commutative and jobs are visited in id order, so
+        the text is deterministic for a given job set regardless of
+        which workers ran what.  Returns ``(prometheus_text, n_jobs)``
+        where ``n_jobs`` counts jobs that contributed a registry.
+        """
+        from ..obs.export import to_prometheus
+        from ..obs.fleet import REGISTRY_FILENAME, FleetAggregator
+
+        aggregator = FleetAggregator()
+        n_jobs = 0
+        jobs = self.queue.list_jobs(tenant=tenant, limit=-1)  # -1: no cap
+        for job in sorted(jobs, key=lambda j: j.id):
+            blob = self.store.read_artifact(
+                job.tenant, job.id, os.path.join("metrics", REGISTRY_FILENAME)
+            )
+            if blob is None:
+                continue
+            try:
+                dump = json.loads(blob.decode())
+            except (ValueError, UnicodeDecodeError):
+                continue  # partially-written artifact; skip, don't 500
+            aggregator.add_dump(dump)
+            n_jobs += 1
+        text = to_prometheus(aggregator.merged_registry())
+        meta = (
+            "# TYPE repro_serve_jobs_aggregated gauge\n"
+            f"repro_serve_jobs_aggregated {n_jobs}\n"
+        )
+        return text + meta, n_jobs
+
 
 def _make_handler(daemon: ServeDaemon):
     class _Handler(BaseHTTPRequestHandler):
@@ -256,6 +295,12 @@ def _make_handler(daemon: ServeDaemon):
                 return
             tenant = self._tenant()
             if tenant is None:
+                return
+            if method == "GET" and parts == ["metrics"]:
+                text, _ = daemon.fleet_metrics(tenant)
+                self._send_bytes(
+                    text.encode(), "text/plain; version=0.0.4"
+                )
                 return
             if not parts or parts[0] != "v1":
                 self._error(404, "unknown route (API lives under /v1)")

@@ -86,6 +86,11 @@ class ServeClient:
     def health(self) -> dict:
         return self._json("/healthz")
 
+    def metrics(self) -> str:
+        """The daemon's cross-job Prometheus rollup (text exposition)."""
+        _, body, _ = self._request("/metrics")
+        return body.decode()
+
     def experiments(self) -> typing.List[dict]:
         return self._json("/v1/experiments")["experiments"]
 

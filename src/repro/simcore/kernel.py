@@ -81,7 +81,7 @@ class Simulator:
             self._registry = registry
             self._events_counter = registry.counter("sim.events_dispatched")
             self._cancelled_counter = registry.counter("sim.events_cancelled")
-            registry.gauge("sim.heap_depth", fn=lambda: len(self._heap))
+            registry.gauge("sim.heap_depth", fn=self.pending_events)
             registry.gauge("sim.now", fn=lambda: self._now)
 
     @property
@@ -284,13 +284,34 @@ class Simulator:
             self._now = max(self._now, until)
         return self._now
 
+    def next_event_time(self) -> typing.Optional[float]:
+        """Timestamp of the earliest live event, or ``None`` when drained.
+
+        Cancelled entries encountered at the heap head are popped (the
+        same lazy discard the run loop performs), so the answer is exact
+        and repeated peeks stay amortised O(1).
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            handle = entry[5]
+            if handle is not None and handle.cancelled:
+                heapq.heappop(heap)
+                self._cancelled_in_heap -= 1
+                if self._obs_enabled:
+                    self._cancelled_counter.inc()
+                continue
+            return entry[0]
+        return None
+
     def pending_events(self) -> int:
-        """Number of scheduled (non-cancelled) events still in the heap."""
-        return sum(
-            1
-            for entry in self._heap
-            if entry[5] is None or not entry[5].cancelled
-        )
+        """Number of scheduled (non-cancelled) events still in the heap.
+
+        ``_cancelled_in_heap`` tracks exactly the cancelled entries that
+        have not yet been popped or compacted away, so the live count is
+        O(1) — no heap scan.
+        """
+        return len(self._heap) - self._cancelled_in_heap
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Simulator(now={self._now:.6f}, pending={len(self._heap)})"
+        return f"Simulator(now={self._now:.6f}, pending={self.pending_events()})"

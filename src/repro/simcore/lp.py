@@ -1,0 +1,469 @@
+"""Logical-process (LP) domains: space-parallel simulation.
+
+One scenario's event space is partitioned into *domains* — disjoint sets
+of components, each owning a private :class:`~repro.simcore.kernel.Simulator`
+(the :class:`DomainKernel`).  Domains interact only through explicitly
+declared boundary channels (cut links in the network graph, plus a small
+set of deferred server-side operations), so each kernel can execute its
+own slice of the serial event set in parallel.
+
+Correctness rests on *conservative* synchronization with lookahead:
+
+* Every cut link has a strictly positive propagation delay ``delay_s``
+  (and finite bandwidth, so serialization time is also positive).  The
+  minimum cut delay ``L`` is the global **lookahead**: an event executed
+  at time ``t`` in one domain can influence another domain no earlier
+  than ``t + L`` (strictly later, since serialization adds > 0).
+* The driver advances all domains in **windows**.  With every clock at
+  the last barrier ``W`` and the earliest unprocessed event anywhere at
+  ``N >= W``, every event with timestamp ``<= N + L`` is safe to run:
+  any boundary crossing it generates lands strictly after ``N + L``.
+* Boundary crossings travel as :class:`CrossDomainEvent` envelopes whose
+  delivery timestamp is computed entirely on the sending side (the
+  closed-form link datapath already knows it at enqueue time, jitter and
+  FIFO clamp included).  Envelopes are injected into the target kernel
+  at the next barrier, sorted by ``(time, priority, source domain,
+  source sequence)`` — a deterministic refinement of the serial
+  ``(time, priority, sequence)`` total order.  Two envelopes from
+  *different* sources with exactly equal ``(time, priority)`` may order
+  differently than the serial kernel's global sequence would have; with
+  continuous delays and jitter such ties have measure zero, and the
+  golden-trace gate (tests/test_lp_domains.py) verifies byte-identical
+  output in practice.
+
+Zero-lookahead interactions — direct mutations of server-side state from
+a client-domain event, e.g. ``PlatformDeployment.join_room`` — cannot
+ride a link envelope.  The driver therefore executes each window in two
+**waves**: first every non-hub domain (in parallel), collecting such
+mutations as timestamped *ops*; then the hub domain (which owns all
+server state) with the ops injected at their original timestamps.  Ops
+only ever flow inward to the hub, so no cycle arises.
+
+**Fences** align every domain at one timestamp: wave-1 domains stop just
+*before* a fence time ``F`` (exclusive) and the hub runs through ``F``
+inclusive, so a hub event at ``F`` (a chaos fault hook, a metrics
+snapshot) observes all cross-domain state exactly as the serial kernel
+would — hooks are scheduled before user timers, so serially they run
+first among equal-time events.  Recurring fences support periodic
+snapshotters.
+
+See docs/PARALLEL.md for the lookahead math and the speedup model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import typing
+from concurrent.futures import ThreadPoolExecutor
+
+from ..obs.context import NULL_OBS
+from .kernel import SimulationError, Simulator
+
+#: The calling kernel for the wave currently executing on this thread.
+#: Deferred-op bridges (``PlatformDeployment``) consult it to decide
+#: whether a mutation is already running in its owner domain.
+_CURRENT = threading.local()
+
+
+def current_kernel():
+    """The kernel whose window is executing on this thread (or None)."""
+    return getattr(_CURRENT, "kernel", None)
+
+
+class CrossDomainEvent:
+    """An event envelope crossing an LP-domain boundary.
+
+    Carries everything needed to replay the event in the target kernel
+    while preserving the serial ``(time, priority, sequence)`` total
+    order: the source domain index and the source's envelope sequence
+    stand in for the global sequence when breaking (measure-zero) ties.
+    """
+
+    __slots__ = ("time", "priority", "source_domain", "source_seq", "callback", "args")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        source_domain: int,
+        source_seq: int,
+        callback: typing.Callable[..., None],
+        args: tuple = (),
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.source_domain = source_domain
+        self.source_seq = source_seq
+        self.callback = callback
+        self.args = args
+
+    def sort_key(self):
+        return (self.time, self.priority, self.source_domain, self.source_seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CrossDomainEvent(t={self.time:.6f}, from=d{self.source_domain}"
+            f"#{self.source_seq})"
+        )
+
+
+class DomainKernel(Simulator):
+    """A :class:`Simulator` owning one LP domain.
+
+    Identical to the serial kernel — components rebound into the domain
+    (``component.sim = kernel``) schedule, draw RNG streams, and read
+    the clock exactly as before — plus a domain identity.  The random
+    ``streams`` object is shared across all sibling domains: stream
+    seeds derive from the root seed and the stream *name* alone, and
+    every name is drawn by exactly one domain, so sharing keeps each
+    stream's draw sequence byte-identical to the serial run.
+
+    Domain kernels default to the no-op observability bundle: kernel
+    dispatch counters are per-domain and the hub (the original
+    simulator) keeps whatever bundle the scenario was built with.
+    """
+
+    def __init__(
+        self,
+        domain_index: int,
+        name: str = "",
+        seed: int = 0,
+        streams=None,
+        obs=None,
+    ) -> None:
+        super().__init__(seed=seed, obs=NULL_OBS if obs is None else obs)
+        self.domain_index = domain_index
+        self.domain_name = name or f"domain-{domain_index}"
+        if streams is not None:
+            self.streams = streams
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DomainKernel({self.domain_name}, now={self._now:.6f}, "
+            f"pending={self.pending_events()})"
+        )
+
+
+def _run_inclusive(kernel, horizon: float) -> None:
+    _CURRENT.kernel = kernel
+    try:
+        kernel.run(until=horizon)
+    finally:
+        _CURRENT.kernel = None
+
+
+def _run_exclusive(kernel, horizon: float) -> None:
+    """Run ``kernel`` up to but *excluding* events at ``horizon``.
+
+    Used for fence windows: events at exactly the fence time stay queued
+    so the hub's fence event observes pre-fence state, then run at the
+    start of the next window — the same relative order the serial kernel
+    produces (fence hooks are scheduled earlier, so their sequence
+    numbers sort first among equal-time events).
+    """
+    _CURRENT.kernel = kernel
+    try:
+        heap = kernel._heap
+        heappop = heapq.heappop
+        events = 0
+        while heap:
+            entry = heap[0]
+            if entry[0] >= horizon:
+                break
+            heappop(heap)
+            handle = entry[5]
+            if handle is not None:
+                if handle.cancelled:
+                    kernel._cancelled_in_heap -= 1
+                    continue
+                handle._sim = None
+            kernel._now = entry[0]
+            events += 1
+            entry[3](*entry[4])
+        kernel.event_count += events
+        if horizon > kernel._now:
+            kernel._now = horizon
+    finally:
+        _CURRENT.kernel = None
+
+
+class ParallelSimulator:
+    """Conservative time-windowed sync driver over LP domain kernels.
+
+    Presents the serial facade (``run(until=)``, ``now``, ``rng``,
+    ``schedule_at``) over a list of kernels, one of which — the *hub*,
+    index ``hub_index`` — owns all shared server-side state and runs
+    second within every window (see module docstring).
+
+    ``executor="threads"`` runs non-hub domains on a thread pool (the
+    packet datapath is pure Python, so wall-clock speedup requires a
+    multi-core host and arrives as free-threaded builds mature — the
+    architecture, ordering, and byte-identity guarantees are identical
+    either way); ``executor="serial"`` runs them in domain order on the
+    calling thread, which is faster on single-core hosts.
+    """
+
+    def __init__(
+        self,
+        kernels: typing.Sequence,
+        lookahead: float,
+        hub_index: int = 0,
+        executor: str = "threads",
+    ) -> None:
+        if not kernels:
+            raise SimulationError("ParallelSimulator needs at least one kernel")
+        if not (lookahead > 0.0):
+            raise SimulationError(
+                f"lookahead must be > 0 (got {lookahead}); a zero-delay cut "
+                "link would force zero-width windows"
+            )
+        if executor not in ("threads", "serial"):
+            raise ValueError(f"unknown executor {executor!r}")
+        self.kernels = list(kernels)
+        self.lookahead = float(lookahead)
+        self.hub_index = hub_index
+        self.executor = executor
+        self.windows = 0  # sync windows executed (driver overhead metric)
+        self._inboxes: list[list] = [[] for _ in self.kernels]
+        self._fences: list[float] = []
+        self._recurring: list[list] = []  # [next_time, period]
+        self._pool: typing.Optional[ThreadPoolExecutor] = None
+        self._now = 0.0
+        for index, kernel in enumerate(self.kernels):
+            kernel.domain_index = index
+            if not hasattr(kernel, "domain_name"):
+                kernel.domain_name = f"domain-{index}"
+            kernel._lp_outboxes = [[] for _ in self.kernels]
+            kernel._lp_env_seq = 0
+            kernel._lp_ops = []
+            kernel._lp_op_seq = 0
+
+    # ------------------------------------------------------------------
+    # Serial-facade surface
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """The barrier time: every domain has executed up to here."""
+        return self._now
+
+    @property
+    def hub(self):
+        return self.kernels[self.hub_index]
+
+    @property
+    def streams(self):
+        return self.hub.streams
+
+    def rng(self, name: str):
+        return self.hub.rng(name)
+
+    @property
+    def event_count(self) -> int:
+        return sum(kernel.event_count for kernel in self.kernels)
+
+    def pending_events(self) -> int:
+        return sum(kernel.pending_events() for kernel in self.kernels) + sum(
+            len(box) for box in self._inboxes
+        )
+
+    def schedule_at(self, time: float, callback, *args, priority: int = 0):
+        """Schedule on the hub domain.
+
+        A hub event that reads *cross-domain* state (counters on station
+        links, client gauges) must be paired with :meth:`add_fence` at
+        the same time, or it will observe the other domains at their
+        window horizon instead of at ``time``.
+        """
+        return self.hub.schedule_at(time, callback, *args, priority=priority)
+
+    # ------------------------------------------------------------------
+    # Fences
+    # ------------------------------------------------------------------
+    def add_fence(self, time: float) -> None:
+        """Align every domain at ``time`` (one-shot)."""
+        if time > self._now:
+            heapq.heappush(self._fences, float(time))
+
+    def add_fence_every(self, period: float, first: typing.Optional[float] = None) -> None:
+        """Align every domain at ``first`` (default: now + period) and
+        every ``period`` after — the companion of a periodic snapshotter."""
+        if period <= 0.0:
+            raise SimulationError(f"fence period must be > 0, got {period}")
+        start = self._now + period if first is None else float(first)
+        self._recurring.append([start, float(period)])
+
+    def _next_fence(self) -> typing.Optional[float]:
+        fences = self._fences
+        while fences and fences[0] <= self._now:
+            heapq.heappop(fences)
+        best = fences[0] if fences else None
+        for entry in self._recurring:
+            while entry[0] <= self._now:
+                entry[0] += entry[1]
+            if best is None or entry[0] < best:
+                best = entry[0]
+        return best
+
+    # ------------------------------------------------------------------
+    # Cross-domain plumbing (used by the partitioner)
+    # ------------------------------------------------------------------
+    def envelope_sink(self, src_index: int, dst_index: int):
+        """A callable ``sink(time, callback, args)`` boundary links use
+        in place of scheduling the delivery on their own kernel."""
+        src = self.kernels[src_index]
+        outbox = src._lp_outboxes[dst_index]
+
+        def sink(time: float, callback, args: tuple = ()) -> None:
+            src._lp_env_seq += 1
+            outbox.append(
+                CrossDomainEvent(time, 0, src_index, src._lp_env_seq, callback, args)
+            )
+
+        return sink
+
+    def calling_kernel(self):
+        """The kernel executing on the current thread (None outside runs)."""
+        return current_kernel()
+
+    def defer(self, kernel, time: float, fn, args: tuple = ()) -> None:
+        """Record a zero-lookahead op from ``kernel``'s window; it runs
+        in the hub at ``time`` during this window's second wave."""
+        kernel._lp_op_seq += 1
+        kernel._lp_ops.append((time, kernel._lp_op_seq, fn, args))
+
+    # ------------------------------------------------------------------
+    # The sync driver
+    # ------------------------------------------------------------------
+    def run(self, until: typing.Optional[float] = None) -> float:
+        """Advance every domain to ``until`` (required: with no horizon
+        there is no safe window bound)."""
+        if until is None:
+            raise SimulationError("ParallelSimulator.run requires until=")
+        kernels = self.kernels
+        lookahead = self.lookahead
+        hub = kernels[self.hub_index]
+        others = [k for i, k in enumerate(kernels) if i != self.hub_index]
+        while True:
+            self._collect_envelopes()
+            nxt = self._next_time()
+            if nxt is None or nxt > until:
+                break
+            horizon = min(until, nxt + lookahead)
+            fence = self._next_fence()
+            exclusive = fence is not None and fence <= horizon
+            if exclusive:
+                horizon = fence
+            self._inject_envelopes()
+            self.windows += 1
+            self._run_wave(others, horizon, exclusive)
+            self._transfer_ops(hub)
+            _run_inclusive(hub, horizon)
+            self._now = horizon
+        # Flush ops deferred outside any window (or left behind by the
+        # last one) rather than dropping them; late stamps still raise.
+        self._transfer_ops(hub)
+        for kernel in kernels:
+            kernel.run(until=until)
+        self._now = until
+        # Worker threads are cheap to respawn; shutting the pool down on
+        # every return keeps campaign sweeps (hundreds of testbeds) from
+        # accumulating idle threads.
+        self.close()
+        return until
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # Driver internals
+    # ------------------------------------------------------------------
+    def _collect_envelopes(self) -> None:
+        inboxes = self._inboxes
+        for kernel in self.kernels:
+            for dst, box in enumerate(kernel._lp_outboxes):
+                if box:
+                    inboxes[dst].extend(box)
+                    del box[:]
+
+    def _next_time(self) -> typing.Optional[float]:
+        nxt = None
+        for kernel in self.kernels:
+            t = kernel.next_event_time()
+            if t is not None and (nxt is None or t < nxt):
+                nxt = t
+        for box in self._inboxes:
+            for envelope in box:
+                if nxt is None or envelope.time < nxt:
+                    nxt = envelope.time
+        return nxt
+
+    def _inject_envelopes(self) -> None:
+        for dst, box in enumerate(self._inboxes):
+            if not box:
+                continue
+            box.sort(key=CrossDomainEvent.sort_key)
+            kernel = self.kernels[dst]
+            heappush = heapq.heappush
+            heap = kernel._heap
+            for envelope in box:
+                kernel._sequence += 1
+                heappush(
+                    heap,
+                    (
+                        envelope.time,
+                        envelope.priority,
+                        kernel._sequence,
+                        envelope.callback,
+                        envelope.args,
+                        None,
+                    ),
+                )
+            del box[:]
+
+    def _run_wave(self, domains, horizon: float, exclusive: bool) -> None:
+        if not domains:
+            return
+        runner = _run_exclusive if exclusive else _run_inclusive
+        if self.executor == "serial" or len(domains) == 1:
+            for kernel in domains:
+                runner(kernel, horizon)
+            return
+        pool = self._pool
+        if pool is None:
+            pool = self._pool = ThreadPoolExecutor(
+                max_workers=len(domains), thread_name_prefix="lp-domain"
+            )
+        futures = [pool.submit(runner, kernel, horizon) for kernel in domains]
+        for future in futures:
+            future.result()
+
+    def _transfer_ops(self, hub) -> None:
+        ops = []
+        for index, kernel in enumerate(self.kernels):
+            if kernel._lp_ops:
+                for time, seq, fn, args in kernel._lp_ops:
+                    ops.append((time, index, seq, fn, args))
+                del kernel._lp_ops[:]
+        if not ops:
+            return
+        ops.sort(key=lambda op: op[:3])
+        heappush = heapq.heappush
+        heap = hub._heap
+        for time, _index, _seq, fn, args in ops:
+            if time < hub._now:
+                raise SimulationError(
+                    f"deferred op at {time} behind hub clock {hub._now}"
+                )
+            hub._sequence += 1
+            heappush(heap, (time, 0, hub._sequence, fn, args, None))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParallelSimulator(domains={len(self.kernels)}, "
+            f"lookahead={self.lookahead * 1000:.3f}ms, now={self._now:.6f}, "
+            f"windows={self.windows})"
+        )

@@ -178,6 +178,40 @@ def test_collect_obs_metrics_artifacts_roundtrip(client):
         unregister_experiment("serve-sim-stub")
 
 
+def test_daemon_metrics_rollup_folds_jobs(client):
+    """GET /metrics folds every job's campaign registry deterministically."""
+    from repro.simcore import Simulator
+
+    def sim_stub(seed=0):
+        sim = Simulator(seed=seed)
+        sim.schedule(0.1, lambda: None)
+        sim.run()
+        return {"seed": seed, "now": sim.now}
+
+    register_experiment("serve-sim-stub", sim_stub, artifact="test", replace=True)
+    try:
+        base = {"experiments": ["serve-sim-stub"], "parallel": False, "collect_obs": True}
+        client.wait(client.submit({**base, "seeds": 1})["id"], timeout_s=60)
+        first = client.metrics()
+        assert "repro_serve_jobs_aggregated 1" in first
+        client.wait(client.submit({**base, "seeds": "1:3"})["id"], timeout_s=60)
+        second = client.metrics()
+        assert "repro_serve_jobs_aggregated 2" in second
+        # The fold sums the per-job kernel counters: one event executed
+        # per task, three tasks across the two jobs.
+        events = [
+            line
+            for line in second.splitlines()
+            if line.startswith("sim_events_dispatched_total")
+        ]
+        assert events, second
+        assert sum(float(line.rsplit(" ", 1)[1]) for line in events) == 3.0
+        # Deterministic: the same job set renders the same bytes.
+        assert client.metrics() == second
+    finally:
+        unregister_experiment("serve-sim-stub")
+
+
 def test_live_proxy_conflict_when_no_live_plane(client):
     job = client.wait(client.submit(SPEC)["id"], timeout_s=60)
     with pytest.raises(ServeApiError) as excinfo:
